@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablations of the NUMA-WS mechanisms called out in DESIGN.md: biased
+ * steals alone, mailboxes alone, the coin flip, and the pushing
+ * threshold. Run on the two benchmarks with the clearest locality
+ * structure (heat, cilksort) at 32 cores.
+ *
+ *   ./ablation_mechanisms [--scale=0.25] [--cores=32]
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace numaws;
+using namespace numaws::bench;
+
+namespace {
+
+sim::SimResult
+runWith(const SimWorkload &wl, int cores, const sim::SimConfig &cfg)
+{
+    const auto dag =
+        wl.build(socketsFor(cores), Placement::Partitioned, true);
+    return sim::simulatePacked(dag, cores, cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const BenchArgs args(cli);
+
+    for (const SimWorkload &wl : workloads::simWorkloads(args.scale)) {
+        if (wl.name != "heat" && wl.name != "cilksort")
+            continue;
+        if (!args.selected(wl))
+            continue;
+
+        std::printf("\nAblation on %s (%s), %d cores:\n", wl.name.c_str(),
+                    wl.inputDesc.c_str(), args.cores);
+        Table t({"configuration", "T32", "W32", "steals", "pushes",
+                 "remote%"});
+
+        struct Variant
+        {
+            const char *name;
+            sim::SimConfig cfg;
+        };
+        std::vector<Variant> variants;
+        variants.push_back({"classic WS", sim::SimConfig::classicWs()});
+        {
+            sim::SimConfig c = sim::SimConfig::classicWs();
+            c.biasedSteals = true;
+            variants.push_back({"bias only", c});
+        }
+        {
+            sim::SimConfig c = sim::SimConfig::numaWs();
+            c.biasedSteals = false;
+            variants.push_back({"mailboxes only", c});
+        }
+        {
+            sim::SimConfig c = sim::SimConfig::numaWs();
+            c.coinFlip = false;
+            variants.push_back({"no coin flip", c});
+        }
+        for (int threshold : {1, 4, 16}) {
+            sim::SimConfig c = sim::SimConfig::numaWs();
+            c.pushThreshold = threshold;
+            static char names[3][32];
+            static int idx = 0;
+            std::snprintf(names[idx], sizeof(names[idx]),
+                          "numa-ws thr=%d", threshold);
+            variants.push_back({names[idx], c});
+            ++idx;
+        }
+
+        for (const Variant &v : variants) {
+            const sim::SimResult r = runWith(wl, args.cores, v.cfg);
+            t.addRow({v.name, Table::fmtSeconds(r.elapsedSeconds),
+                      Table::fmtSeconds(r.workSeconds),
+                      std::to_string(r.counters.steals),
+                      std::to_string(r.counters.pushSuccesses),
+                      Table::fmtRatio(r.memory.remoteFraction())});
+        }
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared harness logic for the paper-table benches.
+ *
+ * Methodology mirrors Section V:
+ *  - "Cilk Plus" rows run the classic scheduler (uniform steals, no
+ *    mailboxes) and, like the paper, take the best of the first-touch and
+ *    interleave placements per benchmark;
+ *  - "NUMA-WS" rows run the full Figure 5 scheduler with partitioned data
+ *    and locality hints;
+ *  - TS is the serial elision (zero parallel overhead) on one core.
+ * Simulated cores pack onto the fewest sockets (Figure 9's methodology).
+ */
+#ifndef NUMAWS_BENCH_BENCH_COMMON_H
+#define NUMAWS_BENCH_BENCH_COMMON_H
+
+#include <string>
+
+#include "sim/scheduler.h"
+#include "support/cli.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+namespace numaws::bench {
+
+using workloads::Placement;
+using workloads::SimWorkload;
+
+/** Sockets in use when @p cores pack tightly (8 cores per socket). */
+inline int
+socketsFor(int cores)
+{
+    return (cores + 7) / 8;
+}
+
+/** Serial elision time TS (seconds) on one core. */
+inline double
+runSerial(const SimWorkload &wl)
+{
+    const auto dag = wl.build(1, Placement::FirstTouch, false);
+    return sim::simulatePacked(dag, 1, sim::SimConfig::serial())
+        .elapsedSeconds;
+}
+
+/** Classic work stealing ("Cilk Plus"): best of first-touch/interleave. */
+inline sim::SimResult
+runClassic(const SimWorkload &wl, int cores, uint64_t seed = 0x5eed)
+{
+    sim::SimConfig cfg = sim::SimConfig::classicWs();
+    cfg.seed = seed;
+    const int sockets = socketsFor(cores);
+    sim::SimResult best{};
+    bool first = true;
+    for (const Placement pl :
+         {Placement::FirstTouch, Placement::Interleaved}) {
+        const auto dag = wl.build(sockets, pl, false);
+        const sim::SimResult r = sim::simulatePacked(dag, cores, cfg);
+        if (first || r.elapsedSeconds < best.elapsedSeconds) {
+            best = r;
+            first = false;
+        }
+    }
+    return best;
+}
+
+/** Full NUMA-WS: partitioned data + locality hints. A benchmark whose
+ * dag carries no hints (matmul row-major, strassen) did not partition
+ * its data either — its user runs the same placement the classic rows
+ * use (the paper links the *same application* against both runtimes). */
+inline sim::SimResult
+runNumaWs(const SimWorkload &wl, int cores, uint64_t seed = 0x5eed)
+{
+    sim::SimConfig cfg = sim::SimConfig::numaWs();
+    cfg.seed = seed;
+    const int sockets = socketsFor(cores);
+    const auto dag = wl.build(sockets, Placement::Partitioned, true);
+    if (dag.hasPlaceHints())
+        return sim::simulatePacked(dag, cores, cfg);
+    sim::SimResult best{};
+    bool first = true;
+    for (const Placement pl :
+         {Placement::FirstTouch, Placement::Interleaved}) {
+        const auto unhinted = wl.build(sockets, pl, false);
+        const sim::SimResult r =
+            sim::simulatePacked(unhinted, cores, cfg);
+        if (first || r.elapsedSeconds < best.elapsedSeconds) {
+            best = r;
+            first = false;
+        }
+    }
+    return best;
+}
+
+/** Standard bench CLI: --scale=, --cores=, --workload= filter. */
+struct BenchArgs
+{
+    double scale;
+    int cores;
+    std::string only;
+
+    explicit BenchArgs(const Cli &cli)
+        : scale(cli.getDouble("scale", 0.25)),
+          cores(static_cast<int>(cli.getInt("cores", 32))),
+          only(cli.getString("workload", ""))
+    {}
+
+    bool
+    selected(const SimWorkload &wl) const
+    {
+        return only.empty() || only == wl.name;
+    }
+};
+
+} // namespace numaws::bench
+
+#endif // NUMAWS_BENCH_BENCH_COMMON_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 3: total processing time on the classic
+ * (Cilk Plus) scheduler, normalized to TS, at P=1 and P=32, with the
+ * P=32 bar broken into work / scheduling / idle. This is the motivation
+ * figure: work inflation (the work component growing past 1.0x) is what
+ * NUMA-WS attacks.
+ *
+ *   ./fig3_breakdown [--scale=0.25] [--cores=32] [--workload=name]
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace numaws;
+using namespace numaws::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const BenchArgs args(cli);
+
+    std::printf("Figure 3: normalized total processing time on classic "
+                "work stealing (Cilk Plus), normalized to TS.\n");
+    Table t({"benchmark", "P=1 (T1/TS)", "P=32 total", "work", "sched",
+             "idle"});
+
+    for (const SimWorkload &wl : workloads::simWorkloads(args.scale)) {
+        if (!args.selected(wl))
+            continue;
+        const double ts = runSerial(wl);
+        const double t1 = runClassic(wl, 1).elapsedSeconds;
+        const sim::SimResult r = runClassic(wl, args.cores);
+
+        t.addRow({wl.name, Table::fmtRatio(t1 / ts),
+                  Table::fmtRatio(r.totalProcessingSeconds() / ts),
+                  Table::fmtRatio(r.workSeconds / ts),
+                  Table::fmtRatio(r.schedSeconds / ts),
+                  Table::fmtRatio(r.idleSeconds / ts)});
+    }
+    t.print();
+    std::printf("\nP=1 bars sit at ~1x (work efficiency); P=32 work "
+                "above 1x is work inflation.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 6 and the layout half of its evaluation:
+ * prints the Z-Morton and blocked Z-Morton orderings for an 8x8 matrix
+ * (the actual figure), then compares index-computation cost and
+ * traversal cost on the host, and matmul vs matmul-z in the simulator
+ * (the 190s -> 73s effect, directionally).
+ *
+ *   ./fig6_layout [--n=512] [--scale=0.25]
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "layout/blocked_matrix.h"
+#include "support/timing.h"
+
+using namespace numaws;
+using namespace numaws::bench;
+
+namespace {
+
+void
+printFigure6()
+{
+    std::printf("Figure 6a: Z-Morton (cell-by-cell)\n");
+    for (uint32_t i = 0; i < 8; ++i) {
+        for (uint32_t j = 0; j < 8; ++j)
+            std::printf("%3llu",
+                        static_cast<unsigned long long>(
+                            zMortonEncode(i, j)));
+        std::printf("\n");
+    }
+    std::printf("\nFigure 6b: blocked Z-Morton (4x4 blocks, row-major "
+                "inside)\n");
+    for (uint32_t i = 0; i < 8; ++i) {
+        for (uint32_t j = 0; j < 8; ++j)
+            std::printf("%3llu",
+                        static_cast<unsigned long long>(
+                            blockedZOffset(i, j, 4, 2)));
+        std::printf("\n");
+    }
+}
+
+/** Host microbenchmark: per-element index cost of the two layouts. */
+void
+indexCostBench(uint32_t n)
+{
+    volatile uint64_t sink = 0;
+    WallTimer t1;
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t j = 0; j < n; ++j)
+            sink += zMortonEncode(i, j);
+    const double z_cell = t1.seconds();
+
+    WallTimer t2;
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t j = 0; j < n; ++j)
+            sink += blockedZOffset(i, j, 32, n / 32);
+    const double z_block = t2.seconds();
+
+    WallTimer t3;
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t j = 0; j < n; ++j)
+            sink += static_cast<uint64_t>(i) * n + j;
+    const double row = t3.seconds();
+
+    std::printf("\nindex computation over %ux%u (host): row-major "
+                "%.4f s, cell Z-Morton %.4f s, blocked Z-Morton %.4f s\n",
+                n, n, row, z_cell, z_block);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const uint32_t n = static_cast<uint32_t>(cli.getInt("n", 512));
+    const double scale = cli.getDouble("scale", 0.25);
+
+    printFigure6();
+    indexCostBench(n);
+
+    // Simulated effect of the layout transformation on matmul and
+    // strassen (TS and T32 rows of Figure 7 for the -z variants).
+    std::printf("\nlayout transformation in the simulator (scale "
+                "%.2f):\n",
+                scale);
+    Table t({"benchmark", "TS", "NUMA-WS T32", "remote%"});
+    for (const SimWorkload &wl : workloads::simWorkloads(scale)) {
+        if (wl.name != "matmul" && wl.name != "matmul-z"
+            && wl.name != "strassen" && wl.name != "strassen-z")
+            continue;
+        const double ts = runSerial(wl);
+        const sim::SimResult r32 = runNumaWs(wl, 32);
+        t.addRow({wl.name, Table::fmtSeconds(ts),
+                  Table::fmtSeconds(r32.elapsedSeconds),
+                  Table::fmtRatio(r32.memory.remoteFraction())});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 7 (execution-times table): TS, T1 and T32
+ * for every benchmark on both platforms, with spawn overhead (T1/TS) and
+ * scalability (T1/T32) in parentheses — the same cells the paper prints.
+ *
+ *   ./fig7_exec_times [--scale=0.25] [--cores=32] [--workload=name]
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace numaws;
+using namespace numaws::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const BenchArgs args(cli);
+
+    std::printf("Figure 7: execution times (simulated %d-core machine, "
+                "scale %.2f)\n",
+                args.cores, args.scale);
+    Table t({"benchmark", "input", "TS", "CilkPlus T1", "CilkPlus T32",
+             "NUMA-WS T1", "NUMA-WS T32"});
+
+    for (const SimWorkload &wl : workloads::simWorkloads(args.scale)) {
+        if (!args.selected(wl))
+            continue;
+        const double ts = runSerial(wl);
+
+        const double c_t1 = runClassic(wl, 1).elapsedSeconds;
+        const double c_tp = runClassic(wl, args.cores).elapsedSeconds;
+        const double n_t1 = runNumaWs(wl, 1).elapsedSeconds;
+        const double n_tp = runNumaWs(wl, args.cores).elapsedSeconds;
+
+        t.addRow({wl.name, wl.inputDesc, Table::fmtSeconds(ts),
+                  Table::fmtSecondsWithRatio(c_t1, c_t1 / ts),
+                  Table::fmtSecondsWithRatio(c_tp, c_t1 / c_tp),
+                  Table::fmtSecondsWithRatio(n_t1, n_t1 / ts),
+                  Table::fmtSecondsWithRatio(n_tp, n_t1 / n_tp)});
+    }
+    t.print();
+    std::printf("\nT1 cells show spawn overhead (T1/TS); TP cells show "
+                "scalability (T1/TP), as in the paper.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 8 (time-breakdown table): T1, W32, S32,
+ * I32 for both platforms, with work inflation (W32/T1) in parentheses.
+ * The headline claim lives here: NUMA-WS lowers W32/T1 where hints apply
+ * (cg, cilksort, heat, hull) and leaves matmul/strassen unharmed.
+ *
+ *   ./fig8_inflation [--scale=0.25] [--cores=32] [--workload=name]
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace numaws;
+using namespace numaws::bench;
+
+namespace {
+
+std::string
+breakdownCells(double t1, const sim::SimResult &r, std::string *w,
+               std::string *s, std::string *i)
+{
+    *w = Table::fmtSecondsWithRatio(r.workSeconds, r.workSeconds / t1);
+    *s = Table::fmtSeconds(r.schedSeconds);
+    *i = Table::fmtSeconds(r.idleSeconds);
+    return {};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const BenchArgs args(cli);
+
+    std::printf("Figure 8: work/scheduling/idle breakdown at %d cores "
+                "(scale %.2f). W shows (work inflation W/T1).\n",
+                args.cores, args.scale);
+    Table t({"benchmark", "CP T1", "CP W32", "CP S32", "CP I32",
+             "NW T1", "NW W32", "NW S32", "NW I32"});
+
+    for (const SimWorkload &wl : workloads::simWorkloads(args.scale)) {
+        if (!args.selected(wl))
+            continue;
+        const double c_t1 = runClassic(wl, 1).elapsedSeconds;
+        const sim::SimResult c = runClassic(wl, args.cores);
+        const double n_t1 = runNumaWs(wl, 1).elapsedSeconds;
+        const sim::SimResult n = runNumaWs(wl, args.cores);
+
+        std::string cw, cs, ci, nw, ns, ni;
+        breakdownCells(c_t1, c, &cw, &cs, &ci);
+        breakdownCells(n_t1, n, &nw, &ns, &ni);
+        t.addRow({wl.name, Table::fmtSeconds(c_t1), cw, cs, ci,
+                  Table::fmtSeconds(n_t1), nw, ns, ni});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 9: NUMA-WS scalability T1/TP for P = 1 to
+ * 32, with threads packed onto the fewest sockets. Prints one series per
+ * benchmark (the paper's seven curves).
+ *
+ *   ./fig9_scalability [--scale=0.25] [--cores=1,2,4,8,16,24,32]
+ *                      [--workload=name]
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace numaws;
+using namespace numaws::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const BenchArgs args(cli);
+    const std::vector<int64_t> cores =
+        cli.getIntList("cores", {1, 2, 4, 8, 16, 24, 32});
+
+    std::printf("Figure 9: scalability T1/TP on NUMA-WS (threads packed "
+                "onto the fewest sockets; scale %.2f)\n",
+                args.scale);
+    std::vector<std::string> header{"benchmark"};
+    for (int64_t c : cores)
+        header.push_back("P=" + std::to_string(c));
+    Table t(header);
+
+    // The paper's Figure 9 plots the seven curves: cilksort, heat,
+    // strassen-z, hull1, hull2, cg, matmul-z.
+    const std::vector<std::string> curves = {
+        "cilksort", "heat", "strassen-z", "hull1",
+        "hull2",    "cg",   "matmul-z"};
+
+    for (const SimWorkload &wl : workloads::simWorkloads(args.scale)) {
+        if (!args.selected(wl))
+            continue;
+        bool in_figure = false;
+        for (const auto &c : curves)
+            in_figure |= c == wl.name;
+        if (!in_figure && args.only.empty())
+            continue;
+
+        const double t1 = runNumaWs(wl, 1).elapsedSeconds;
+        std::vector<std::string> row{wl.name};
+        for (int64_t c : cores) {
+            if (c == 1) {
+                row.push_back("1.00x");
+                continue;
+            }
+            const double tp =
+                runNumaWs(wl, static_cast<int>(c)).elapsedSeconds;
+            row.push_back(Table::fmtRatio(t1 / tp));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    std::printf("\nSame program, same input at every P — only the "
+                "core/socket count changes (processor-oblivious).\n");
+    return 0;
+}

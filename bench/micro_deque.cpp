@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the scheduler data structures:
+ * THE-deque owner push/pop (the work path the work-first principle keeps
+ * cheap), thief steals (the paid path), and the single-entry mailbox.
+ */
+#include <benchmark/benchmark.h>
+
+#include "deque/mailbox.h"
+#include "deque/ws_deque.h"
+#include "support/rng.h"
+#include "topology/steal_distribution.h"
+
+namespace {
+
+using numaws::BiasWeights;
+using numaws::Machine;
+using numaws::Mailbox;
+using numaws::Rng;
+using numaws::StealDistribution;
+using numaws::WsDeque;
+
+struct Item
+{
+    int v;
+};
+
+void
+BM_DequeOwnerPushPop(benchmark::State &state)
+{
+    WsDeque<Item> d(1 << 12);
+    Item item{1};
+    for (auto _ : state) {
+        d.pushTail(&item);
+        benchmark::DoNotOptimize(d.popTail());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DequeOwnerPushPop);
+
+void
+BM_DequeStealFromHead(benchmark::State &state)
+{
+    WsDeque<Item> d(1 << 12);
+    Item item{1};
+    for (auto _ : state) {
+        d.pushTail(&item);
+        benchmark::DoNotOptimize(d.stealHead());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DequeStealFromHead);
+
+void
+BM_DequeDeepPushThenDrain(benchmark::State &state)
+{
+    const int depth = static_cast<int>(state.range(0));
+    WsDeque<Item> d(1 << 12);
+    std::vector<Item> items(static_cast<std::size_t>(depth));
+    for (auto _ : state) {
+        for (auto &i : items)
+            d.pushTail(&i);
+        while (d.popTail() != nullptr) {
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_DequeDeepPushThenDrain)->Arg(16)->Arg(256)->Arg(4096);
+
+void
+BM_MailboxPutTake(benchmark::State &state)
+{
+    Mailbox<Item> m;
+    Item item{1};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.tryPut(&item));
+        benchmark::DoNotOptimize(m.tryTake());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MailboxPutTake);
+
+void
+BM_BiasedVictimSample(benchmark::State &state)
+{
+    const Machine m = Machine::paperMachine();
+    const StealDistribution dist(m, 32, BiasWeights{});
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dist.sample(5, rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BiasedVictimSample);
+
+void
+BM_UniformVictimSample(benchmark::State &state)
+{
+    const Machine m = Machine::paperMachine();
+    const StealDistribution dist(m, 32, BiasWeights::uniform());
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dist.sample(5, rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UniformVictimSample);
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Spawn-overhead microbenchmarks (google-benchmark) on the threaded
+ * runtime: cost of spawn+sync versus a plain function call, and the
+ * effect of base-case coarsening on fib — the trade-off Section II
+ * discusses (smaller base case = more parallelism + more overhead).
+ */
+#include <benchmark/benchmark.h>
+
+#include "runtime/api.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace numaws;
+
+Runtime &
+rt1()
+{
+    static Runtime rt([] {
+        RuntimeOptions o;
+        o.numWorkers = 1;
+        return o;
+    }());
+    return rt;
+}
+
+Runtime &
+rtHost()
+{
+    static Runtime rt([] {
+        RuntimeOptions o;
+        o.numWorkers = 0; // all host CPUs
+        return o;
+    }());
+    return rt;
+}
+
+void
+BM_SpawnSyncOverhead(benchmark::State &state)
+{
+    const int spawns = static_cast<int>(state.range(0));
+    Runtime &rt = rt1();
+    for (auto _ : state) {
+        rt.run([&] {
+            TaskGroup tg;
+            for (int i = 0; i < spawns; ++i)
+                tg.spawn([] { benchmark::DoNotOptimize(0); });
+            tg.sync();
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * spawns);
+}
+BENCHMARK(BM_SpawnSyncOverhead)->Arg(64)->Arg(1024);
+
+void
+BM_FibSerial(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(workloads::fibSerial(25));
+}
+BENCHMARK(BM_FibSerial);
+
+void
+BM_FibOneWorkerCutoff(benchmark::State &state)
+{
+    const int cutoff = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            workloads::fibParallel(rt1(), 25, cutoff));
+}
+BENCHMARK(BM_FibOneWorkerCutoff)->Arg(10)->Arg(15)->Arg(20);
+
+void
+BM_FibAllWorkers(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(workloads::fibParallel(rtHost(), 27, 16));
+}
+BENCHMARK(BM_FibAllWorkers);
+
+void
+BM_ParallelForGrain(benchmark::State &state)
+{
+    const int64_t grain = state.range(0);
+    Runtime &rt = rtHost();
+    std::vector<double> v(1 << 16, 1.0);
+    for (auto _ : state) {
+        rt.run([&] {
+            parallelFor(0, static_cast<int64_t>(v.size()), grain,
+                        [&](int64_t i) {
+                            v[static_cast<std::size_t>(i)] *= 1.0001;
+                        });
+        });
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<int64_t>(v.size()));
+}
+BENCHMARK(BM_ParallelForGrain)->Arg(64)->Arg(1024)->Arg(16384);
+
+} // namespace

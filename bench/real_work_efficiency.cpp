@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Host-measured work efficiency of the *threaded* runtime — the paper's
+ * T1/TS columns measured for real, not simulated. For each benchmark:
+ * run the serial elision, then the parallel version on one worker, and
+ * report the spawn overhead; then run on all host cores for the real
+ * speedup this machine allows.
+ *
+ *   ./real_work_efficiency [--reps=3] [--workers=0 (host cores)]
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "support/stats.h"
+#include "support/timing.h"
+#include "topology/affinity.h"
+
+using namespace numaws;
+using namespace numaws::workloads;
+
+namespace {
+
+double
+timeBest(int reps, const std::function<void()> &fn)
+{
+    RunningStat s;
+    for (int r = 0; r < reps; ++r) {
+        WallTimer t;
+        fn();
+        s.add(t.seconds());
+    }
+    return s.min();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const int reps = static_cast<int>(cli.getInt("reps", 3));
+    int workers = static_cast<int>(cli.getInt("workers", 0));
+    if (workers == 0)
+        workers = hostCpuCount();
+
+    Runtime rt1([] {
+        RuntimeOptions o;
+        o.numWorkers = 1;
+        return o;
+    }());
+    Runtime rtp([workers] {
+        RuntimeOptions o;
+        o.numWorkers = workers;
+        o.numPlaces = std::min(workers, 2);
+        return o;
+    }());
+
+    std::printf("Work efficiency of the threaded runtime on this host "
+                "(%d workers for TP; best of %d reps)\n",
+                workers, reps);
+    Table t({"benchmark", "TS", "T1 (T1/TS)", "TP (T1/TP)"});
+
+    // --- fib (pure spawn overhead) ---
+    {
+        const int n = 32, cutoff = 18;
+        const double ts = timeBest(reps, [&] { fibSerial(n); });
+        const double t1 =
+            timeBest(reps, [&] { fibParallel(rt1, n, cutoff); });
+        const double tp =
+            timeBest(reps, [&] { fibParallel(rtp, n, cutoff); });
+        t.addRow({"fib(32)", Table::fmtSeconds(ts),
+                  Table::fmtSecondsWithRatio(t1, t1 / ts),
+                  Table::fmtSecondsWithRatio(tp, t1 / tp)});
+    }
+    // --- cilksort ---
+    {
+        CilksortParams p;
+        p.n = 1 << 21;
+        Rng rng(1);
+        std::vector<int64_t> base(static_cast<std::size_t>(p.n));
+        for (auto &x : base)
+            x = static_cast<int64_t>(rng.next());
+        std::vector<int64_t> tmp(base.size());
+        auto data = base;
+        const double ts = timeBest(reps, [&] {
+            data = base;
+            cilksortSerial(data.data(), p.n, tmp.data(), p);
+        });
+        const double t1 = timeBest(reps, [&] {
+            data = base;
+            cilksortParallel(rt1, data.data(), p.n, tmp.data(), p, true);
+        });
+        const double tp = timeBest(reps, [&] {
+            data = base;
+            cilksortParallel(rtp, data.data(), p.n, tmp.data(), p, true);
+        });
+        t.addRow({"cilksort 2M", Table::fmtSeconds(ts),
+                  Table::fmtSecondsWithRatio(t1, t1 / ts),
+                  Table::fmtSecondsWithRatio(tp, t1 / tp)});
+    }
+    // --- heat ---
+    {
+        HeatParams p;
+        p.nx = 512;
+        p.ny = 512;
+        p.steps = 20;
+        p.baseRows = 16;
+        const std::size_t cells = static_cast<std::size_t>(p.nx)
+                                  * static_cast<std::size_t>(p.ny);
+        std::vector<double> a(cells, 1.0), b(cells, 0.0);
+        const double ts =
+            timeBest(reps, [&] { heatSerial(a.data(), b.data(), p); });
+        const double t1 = timeBest(
+            reps, [&] { heatParallel(rt1, a.data(), b.data(), p, true); });
+        const double tp = timeBest(
+            reps, [&] { heatParallel(rtp, a.data(), b.data(), p, true); });
+        t.addRow({"heat 512^2x20", Table::fmtSeconds(ts),
+                  Table::fmtSecondsWithRatio(t1, t1 / ts),
+                  Table::fmtSecondsWithRatio(tp, t1 / tp)});
+    }
+    // --- matmul ---
+    {
+        MatmulParams p;
+        p.n = 512;
+        p.block = 64;
+        const std::size_t elems =
+            static_cast<std::size_t>(p.n) * p.n;
+        std::vector<double> a(elems, 0.5), b(elems, 0.25),
+            c(elems, 0.0);
+        const double ts = timeBest(reps, [&] {
+            std::fill(c.begin(), c.end(), 0.0);
+            matmulSerial(a.data(), b.data(), c.data(), p.n);
+        });
+        const double t1 = timeBest(reps, [&] {
+            std::fill(c.begin(), c.end(), 0.0);
+            matmulParallel(rt1, a.data(), b.data(), c.data(), p, true);
+        });
+        const double tp = timeBest(reps, [&] {
+            std::fill(c.begin(), c.end(), 0.0);
+            matmulParallel(rtp, a.data(), b.data(), c.data(), p, true);
+        });
+        t.addRow({"matmul 512^2", Table::fmtSeconds(ts),
+                  Table::fmtSecondsWithRatio(t1, t1 / ts),
+                  Table::fmtSecondsWithRatio(tp, t1 / tp)});
+    }
+    // --- strassen ---
+    {
+        StrassenParams p;
+        p.n = 256;
+        p.block = 32;
+        const std::size_t elems =
+            static_cast<std::size_t>(p.n) * p.n;
+        std::vector<double> a(elems, 0.5), b(elems, 0.25),
+            c(elems, 0.0);
+        const double ts = timeBest(reps, [&] {
+            strassenSerial(a.data(), b.data(), c.data(), p.n, p.block);
+        });
+        const double t1 = timeBest(reps, [&] {
+            strassenParallel(rt1, a.data(), b.data(), c.data(), p);
+        });
+        const double tp = timeBest(reps, [&] {
+            strassenParallel(rtp, a.data(), b.data(), c.data(), p);
+        });
+        t.addRow({"strassen 256^2", Table::fmtSeconds(ts),
+                  Table::fmtSecondsWithRatio(t1, t1 / ts),
+                  Table::fmtSecondsWithRatio(tp, t1 / tp)});
+    }
+    // --- hull ---
+    {
+        HullParams p;
+        p.n = 1 << 19;
+        p.base = 1 << 12;
+        const auto pts = hullMakeInput(p, 7);
+        const double ts = timeBest(reps, [&] { hullSerial(pts); });
+        const double t1 =
+            timeBest(reps, [&] { hullParallel(rt1, pts, p, true); });
+        const double tp =
+            timeBest(reps, [&] { hullParallel(rtp, pts, p, true); });
+        t.addRow({"hull1 512k", Table::fmtSeconds(ts),
+                  Table::fmtSecondsWithRatio(t1, t1 / ts),
+                  Table::fmtSecondsWithRatio(tp, t1 / tp)});
+    }
+    // --- cg ---
+    {
+        CgParams p;
+        p.n = 1 << 15;
+        p.nnzPerRow = 16;
+        p.band = 1024;
+        p.iters = 12;
+        p.baseRows = 1024;
+        const CsrMatrix m = cgMakeMatrix(p, 11);
+        std::vector<double> b(static_cast<std::size_t>(p.n), 1.0);
+        std::vector<double> x;
+        const double ts = timeBest(reps, [&] { cgSerial(m, b, x, p); });
+        const double t1 =
+            timeBest(reps, [&] { cgParallel(rt1, m, b, x, p, true); });
+        const double tp =
+            timeBest(reps, [&] { cgParallel(rtp, m, b, x, p, true); });
+        t.addRow({"cg 32k", Table::fmtSeconds(ts),
+                  Table::fmtSecondsWithRatio(t1, t1 / ts),
+                  Table::fmtSecondsWithRatio(tp, t1 / tp)});
+    }
+
+    t.print();
+    std::printf("\nT1/TS near 1.0x = work efficient (the paper's "
+                "Figure 7 parenthesised column, measured for real).\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: create a runtime, spawn tasks, sync, use parallel loops.
+ *
+ *   ./quickstart [--workers=N] [--places=P]
+ */
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "runtime/api.h"
+#include "support/cli.h"
+#include "workloads/workloads.h"
+
+using namespace numaws;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    RuntimeOptions opts;
+    opts.numWorkers = static_cast<int>(cli.getInt("workers", 4));
+    opts.numPlaces = static_cast<int>(cli.getInt("places", 2));
+    Runtime rt(opts);
+
+    std::printf("NUMA-WS quickstart: %d workers across %d places\n",
+                rt.numWorkers(), rt.numPlaces());
+
+    // 1. Fork-join with TaskGroup (cilk_spawn / cilk_sync).
+    const uint64_t fib = workloads::fibParallel(rt, 30, 18);
+    std::printf("fib(30) = %llu\n", static_cast<unsigned long long>(fib));
+
+    // 2. Parallel loop.
+    std::vector<double> v(1 << 20, 1.0);
+    rt.run([&] {
+        parallelFor(0, static_cast<int64_t>(v.size()), 4096,
+                    [&](int64_t i) { v[static_cast<std::size_t>(i)] *= 2.0; });
+    });
+    std::printf("sum after doubling = %.0f\n",
+                std::accumulate(v.begin(), v.end(), 0.0));
+
+    // 3. Locality hints: run one task per place.
+    rt.run([&] {
+        TaskGroup tg;
+        for (Place p = 0; p < rt.numPlaces(); ++p)
+            tg.spawn(
+                [p] {
+                    std::printf("  task hinted at place %d ran on place "
+                                "%d\n",
+                                p, currentPlace());
+                },
+                p);
+        tg.sync();
+    });
+
+    // 4. Scheduler statistics.
+    const RuntimeStats s = rt.stats();
+    std::printf("spawns=%llu steals=%llu mailboxTakes=%llu pushes=%llu\n",
+                static_cast<unsigned long long>(s.counters.spawns),
+                static_cast<unsigned long long>(s.counters.steals),
+                static_cast<unsigned long long>(s.counters.mailboxTakes),
+                static_cast<unsigned long long>(
+                    s.counters.pushbackSuccesses));
+    return 0;
+}

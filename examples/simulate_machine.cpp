@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Drive the simulated 32-core NUMA machine directly: pick a benchmark,
+ * a scheduler (classic Cilk-Plus-style or NUMA-WS), a placement, and a
+ * core count; print the topology (Figure 1) and the run's breakdown.
+ *
+ *   ./simulate_machine [--workload=heat] [--cores=32]
+ *                      [--scheduler=numaws|classic]
+ *                      [--placement=partitioned|interleaved|firsttouch]
+ *                      [--hints=true] [--scale=0.25]
+ */
+#include <cstdio>
+
+#include "sim/scheduler.h"
+#include "support/cli.h"
+#include "workloads/workloads.h"
+
+using namespace numaws;
+using namespace numaws::workloads;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    const std::string name = cli.getString("workload", "heat");
+    const int cores = static_cast<int>(cli.getInt("cores", 32));
+    const std::string sched = cli.getString("scheduler", "numaws");
+    const std::string place_s = cli.getString("placement", "partitioned");
+    const bool hints = cli.getBool("hints", true);
+    const double scale = cli.getDouble("scale", 0.25);
+
+    const Machine machine = Machine::paperMachineSubset(cores);
+    std::printf("%s", machine.describe().c_str());
+
+    Placement placement = Placement::Partitioned;
+    if (place_s == "interleaved")
+        placement = Placement::Interleaved;
+    else if (place_s == "firsttouch")
+        placement = Placement::FirstTouch;
+    else if (place_s != "partitioned")
+        NUMAWS_FATAL("unknown placement '%s'", place_s.c_str());
+
+    const sim::SimConfig cfg = sched == "classic"
+                                   ? sim::SimConfig::classicWs()
+                                   : sim::SimConfig::numaWs();
+
+    for (const SimWorkload &wl : simWorkloads(scale)) {
+        if (wl.name != name)
+            continue;
+        std::printf("workload %s (%s), %d cores, %s scheduler, %s "
+                    "placement, hints %s\n",
+                    wl.name.c_str(), wl.inputDesc.c_str(), cores,
+                    sched.c_str(), place_s.c_str(),
+                    hints ? "on" : "off");
+        const auto dag =
+            wl.build(machine.numSockets(), placement, hints);
+        const sim::WorkSpan ws = dag.workSpan(cfg.spawnCost, 0.0);
+        std::printf("dag: %zu frames, %zu strands, parallelism %.0f\n",
+                    dag.numFrames(), dag.numStrands(), ws.work / ws.span);
+        const sim::SimResult r = sim::simulate(dag, machine, cores, cfg);
+        std::printf("%s\n", r.summary().c_str());
+        std::printf("  elapsed %.4f s | work %.4f s | sched %.4f s | "
+                    "idle %.4f s\n",
+                    r.elapsedSeconds, r.workSeconds, r.schedSeconds,
+                    r.idleSeconds);
+        return 0;
+    }
+    NUMAWS_FATAL("unknown workload '%s' (try cg, cilksort, heat, hull1, "
+                 "hull2, matmul, matmul-z, strassen, strassen-z)",
+                 name.c_str());
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Single-entry mailbox for lazy work pushing (Section III-B).
+ *
+ * Each worker owns one mailbox into which other workers may deposit a full
+ * frame earmarked for this worker's place, *without interrupting it*. The
+ * single entry is not an implementation convenience — it is load-bearing in
+ * the theory (Section IV): with at most one frame parked per worker, the
+ * top-heavy-deques argument survives, and the pushing cost amortizes
+ * against successful steals. Tests assert the capacity-one behaviour.
+ */
+#ifndef NUMAWS_DEQUE_MAILBOX_H
+#define NUMAWS_DEQUE_MAILBOX_H
+
+#include <atomic>
+
+#include "support/cache_aligned.h"
+
+namespace numaws {
+
+/** Lock-free one-slot mailbox of T*. */
+template <typename T>
+class Mailbox
+{
+  public:
+    Mailbox() = default;
+    Mailbox(const Mailbox &) = delete;
+    Mailbox &operator=(const Mailbox &) = delete;
+
+    /**
+     * Attempt to deposit @p item.
+     * @return false if the mailbox already holds a frame (the pusher then
+     *         retries with a different random receiver, per PUSHBACK).
+     */
+    bool
+    tryPut(T *item)
+    {
+        T *expected = nullptr;
+        return _slot.compare_exchange_strong(expected, item,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed);
+    }
+
+    /**
+     * Remove and return the parked frame, or nullptr if empty. Used by the
+     * owner in its scheduling loop (POPMAILBOX) and by thieves that win
+     * the coin flip (BIASEDSTEALWITHPUSH outcome 2/3).
+     */
+    T *
+    tryTake()
+    {
+        if (_slot.load(std::memory_order_relaxed) == nullptr)
+            return nullptr;
+        return _slot.exchange(nullptr, std::memory_order_acq_rel);
+    }
+
+    /**
+     * Read the parked frame without removing it (a thief inspects the
+     * frame's place before deciding to take it or push it onward).
+     */
+    T *
+    peek() const
+    {
+        return _slot.load(std::memory_order_acquire);
+    }
+
+    bool full() const { return peek() != nullptr; }
+
+  private:
+    alignas(kCacheLineBytes) std::atomic<T *> _slot{nullptr};
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_DEQUE_MAILBOX_H

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * THE-protocol work-stealing deque (Frigo, Leiserson, Randall, PLDI'98).
+ *
+ * The deque embodies the work-first principle at the data-structure level:
+ * the busy owner pushes and pops at the tail with two atomic operations and
+ * one fence, taking the lock only when it races a thief for the final
+ * element; thieves always take the lock and steal from the head. The paper
+ * inherits this protocol unchanged from Cilk Plus (Section II), and so do
+ * both of our engines.
+ *
+ * Terminology matches the paper: the *head* is where thieves steal (oldest
+ * work) and the *tail* is where the owner works (youngest work). The ABP
+ * analysis calls these "top" and "bottom".
+ */
+#ifndef NUMAWS_DEQUE_WS_DEQUE_H
+#define NUMAWS_DEQUE_WS_DEQUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/cache_aligned.h"
+#include "support/panic.h"
+#include "support/spin_lock.h"
+
+namespace numaws {
+
+/**
+ * Fixed-capacity deque of pointers.
+ *
+ * Capacity bounds the *spawn depth* (continuations outstanding at once),
+ * not total spawns, so a few thousand slots accommodate any reasonable
+ * recursion; overflow is a panic rather than silent resizing because
+ * resizing under the THE protocol would require a stop-the-world handshake
+ * with thieves.
+ *
+ * @tparam T element type; the deque stores T* and never owns them.
+ */
+template <typename T>
+class WsDeque
+{
+  public:
+    explicit WsDeque(std::size_t capacity = 8192)
+        : _buffer(capacity, nullptr), _capacity(capacity)
+    {
+        NUMAWS_ASSERT(capacity >= 2);
+    }
+
+    WsDeque(const WsDeque &) = delete;
+    WsDeque &operator=(const WsDeque &) = delete;
+
+    /**
+     * Owner-only: push @p item at the tail. This is the work path — one
+     * relaxed store plus one release store.
+     */
+    void
+    pushTail(T *item)
+    {
+        const int64_t t = _tail.load(std::memory_order_relaxed);
+        const int64_t h = _head.load(std::memory_order_acquire);
+        if (t - h >= static_cast<int64_t>(_capacity))
+            NUMAWS_PANIC("work deque overflow (capacity %zu); spawn depth "
+                         "exceeds the configured bound",
+                         _capacity);
+        _buffer[static_cast<std::size_t>(t) % _capacity] = item;
+        // Publish the element before advertising the new tail to thieves.
+        _tail.store(t + 1, std::memory_order_release);
+    }
+
+    /**
+     * Owner-only: pop from the tail (THE protocol fast path).
+     * @return the youngest item, or nullptr if the deque was empty or the
+     *         last item was lost to a thief.
+     */
+    T *
+    popTail()
+    {
+        int64_t t = _tail.load(std::memory_order_relaxed) - 1;
+        _tail.store(t, std::memory_order_relaxed);
+        // The fence orders the tail decrement before reading the head —
+        // this is the T/H exchange at the heart of the THE protocol.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const int64_t h = _head.load(std::memory_order_relaxed);
+        if (h <= t) {
+            // No conflict possible: at least one item remains below any
+            // concurrent thief's claim.
+            if (h < t)
+                return _buffer[static_cast<std::size_t>(t) % _capacity];
+            // Exactly one item: race a thief for it under the lock.
+            T *item = nullptr;
+            {
+                std::lock_guard<SpinLock> g(_lock);
+                const int64_t h2 = _head.load(std::memory_order_relaxed);
+                if (h2 <= t) {
+                    item = _buffer[static_cast<std::size_t>(t) % _capacity];
+                } else {
+                    // Thief won; restore the tail to the empty position.
+                    _tail.store(t + 1, std::memory_order_relaxed);
+                }
+            }
+            if (item == nullptr)
+                return nullptr;
+            return item;
+        }
+        // Deque was empty; undo the decrement.
+        _tail.store(t + 1, std::memory_order_relaxed);
+        return nullptr;
+    }
+
+    /**
+     * Thief: steal from the head. Thieves serialize on the deque lock
+     * (overhead deliberately placed on the steal path).
+     * @return the oldest item, or nullptr if the deque is empty.
+     */
+    T *
+    stealHead()
+    {
+        std::lock_guard<SpinLock> g(_lock);
+        const int64_t h = _head.load(std::memory_order_relaxed);
+        // Claim the slot before validating against the tail, mirroring the
+        // original protocol's H increment-then-check.
+        _head.store(h + 1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const int64_t t = _tail.load(std::memory_order_relaxed);
+        if (h < t) {
+            return _buffer[static_cast<std::size_t>(h) % _capacity];
+        }
+        // Deque empty (or owner won the conflict); retreat.
+        _head.store(h, std::memory_order_relaxed);
+        return nullptr;
+    }
+
+    /** Approximate emptiness check (exact for the owner when quiescent). */
+    bool
+    empty() const
+    {
+        return _head.load(std::memory_order_acquire)
+               >= _tail.load(std::memory_order_acquire);
+    }
+
+    /** Approximate current size (for stats/tests, not for decisions). */
+    int64_t
+    size() const
+    {
+        const int64_t s = _tail.load(std::memory_order_acquire)
+                          - _head.load(std::memory_order_acquire);
+        return s < 0 ? 0 : s;
+    }
+
+  private:
+    alignas(kCacheLineBytes) std::atomic<int64_t> _head{0};
+    alignas(kCacheLineBytes) std::atomic<int64_t> _tail{0};
+    alignas(kCacheLineBytes) SpinLock _lock;
+    std::vector<T *> _buffer;
+    std::size_t _capacity;
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_DEQUE_WS_DEQUE_H

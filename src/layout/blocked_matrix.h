@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Dense matrices in row-major and blocked Z-Morton layouts, plus the
+ * layout transformation API of Section III-C.
+ *
+ * BlockedZMatrix gives divide-and-conquer kernels two properties the paper
+ * exploits: (1) a base-case block is contiguous in memory, so it can be
+ * homed on a single socket despite spanning multiple logical rows; and
+ * (2) the Z-curve index is computed per block, not per element.
+ */
+#ifndef NUMAWS_LAYOUT_BLOCKED_MATRIX_H
+#define NUMAWS_LAYOUT_BLOCKED_MATRIX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/zmorton.h"
+#include "mem/numa_arena.h"
+#include "support/panic.h"
+
+namespace numaws {
+
+/** True iff @p x is a power of two. */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/**
+ * Square matrix stored block-by-block along the Z curve.
+ *
+ * @tparam T element type (arithmetic).
+ */
+template <typename T>
+class BlockedZMatrix
+{
+  public:
+    /**
+     * @param n matrix edge (power of two).
+     * @param block block edge (power of two, <= n).
+     */
+    BlockedZMatrix(uint32_t n, uint32_t block)
+        : _n(n), _block(block), _data(static_cast<std::size_t>(n) * n)
+    {
+        NUMAWS_ASSERT(isPow2(n) && isPow2(block) && block <= n);
+    }
+
+    uint32_t n() const { return _n; }
+    uint32_t block() const { return _block; }
+    uint32_t blocksPerEdge() const { return _n / _block; }
+
+    T &
+    at(uint32_t i, uint32_t j)
+    {
+        return _data[blockedZOffset(i, j, _block, blocksPerEdge())];
+    }
+
+    const T &
+    at(uint32_t i, uint32_t j) const
+    {
+        return _data[blockedZOffset(i, j, _block, blocksPerEdge())];
+    }
+
+    /** Pointer to the contiguous storage of block (bi, bj). */
+    T *
+    blockPtr(uint32_t bi, uint32_t bj)
+    {
+        return _data.data()
+               + zMortonEncode(bi, bj) * _block * _block;
+    }
+
+    const T *
+    blockPtr(uint32_t bi, uint32_t bj) const
+    {
+        return _data.data()
+               + zMortonEncode(bi, bj) * _block * _block;
+    }
+
+    /** Bytes in one block (the homing granule). */
+    std::size_t blockBytes() const
+    {
+        return sizeof(T) * _block * _block;
+    }
+
+    T *data() { return _data.data(); }
+    const T *data() const { return _data.data(); }
+    std::size_t bytes() const { return _data.size() * sizeof(T); }
+
+    /** Import from a row-major buffer of the same logical shape. */
+    void
+    fromRowMajor(const T *src)
+    {
+        for (uint32_t i = 0; i < _n; ++i)
+            for (uint32_t j = 0; j < _n; ++j)
+                at(i, j) = src[static_cast<std::size_t>(i) * _n + j];
+    }
+
+    /** Export to a row-major buffer. */
+    void
+    toRowMajor(T *dst) const
+    {
+        for (uint32_t i = 0; i < _n; ++i)
+            for (uint32_t j = 0; j < _n; ++j)
+                dst[static_cast<std::size_t>(i) * _n + j] = at(i, j);
+    }
+
+    /**
+     * Register block homes with @p arena: block (bi, bj) is homed on the
+     * socket owning its quadrant of the Z curve, so each socket holds a
+     * contiguous quarter of the blocks — the co-location the paper's
+     * divide-and-conquer hints assume.
+     */
+    void
+    bindBlocksToSockets(NumaArena &arena, int sockets)
+    {
+        const uint64_t blocks =
+            static_cast<uint64_t>(blocksPerEdge()) * blocksPerEdge();
+        const uint64_t per = (blocks + sockets - 1) / sockets;
+        for (uint64_t z = 0; z < blocks; ++z) {
+            const int home = static_cast<int>(std::min<uint64_t>(
+                z / per, static_cast<uint64_t>(sockets) - 1));
+            arena.pageMap().registerRange(
+                reinterpret_cast<uint64_t>(_data.data())
+                    + z * blockBytes(),
+                blockBytes(), PagePolicy::Single, home);
+        }
+    }
+
+  private:
+    uint32_t _n;
+    uint32_t _block;
+    std::vector<T> _data;
+};
+
+/** Row-major square matrix with the same interface surface, for baselines. */
+template <typename T>
+class RowMajorMatrix
+{
+  public:
+    explicit RowMajorMatrix(uint32_t n)
+        : _n(n), _data(static_cast<std::size_t>(n) * n)
+    {}
+
+    uint32_t n() const { return _n; }
+
+    T &
+    at(uint32_t i, uint32_t j)
+    {
+        return _data[static_cast<std::size_t>(i) * _n + j];
+    }
+
+    const T &
+    at(uint32_t i, uint32_t j) const
+    {
+        return _data[static_cast<std::size_t>(i) * _n + j];
+    }
+
+    T *data() { return _data.data(); }
+    const T *data() const { return _data.data(); }
+    std::size_t bytes() const { return _data.size() * sizeof(T); }
+
+  private:
+    uint32_t _n;
+    std::vector<T> _data;
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_LAYOUT_BLOCKED_MATRIX_H

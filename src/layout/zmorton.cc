@@ -1,0 +1,16 @@
+#include "layout/zmorton.h"
+
+// The Z-Morton math is constexpr and lives in the header; this translation
+// unit anchors the library and provides compile-time sanity checks.
+
+namespace numaws {
+
+static_assert(zMortonEncode(0, 0) == 0);
+static_assert(zMortonEncode(0, 1) == 1);
+static_assert(zMortonEncode(1, 0) == 2);
+static_assert(zMortonEncode(1, 1) == 3);
+static_assert(zMortonEncode(2, 2) == 12);
+static_assert(spreadBits(compactBits(0x5555555555555555ULL))
+              == 0x5555555555555555ULL);
+
+} // namespace numaws

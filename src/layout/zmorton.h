@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Z-Morton (bit-interleaved) index math — Section III-C.
+ *
+ * `interleave(x, y)` spreads the bits of x and y so consecutive indices
+ * trace the recursive Z curve of Figure 6a. The data layout transformation
+ * applies this at *block* granularity only (Figure 6b): blocks are laid on
+ * the Z curve while data within each block stays row-major, so base cases
+ * of divide-and-conquer algorithms see contiguous memory and the
+ * interleaving is computed once per block rather than per element.
+ */
+#ifndef NUMAWS_LAYOUT_ZMORTON_H
+#define NUMAWS_LAYOUT_ZMORTON_H
+
+#include <cstdint>
+
+namespace numaws {
+
+/** Spread the low 32 bits of @p x to the even bit positions. */
+constexpr uint64_t
+spreadBits(uint64_t x)
+{
+    x &= 0xffffffffULL;
+    x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+    x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+    x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    x = (x | (x << 2)) & 0x3333333333333333ULL;
+    x = (x | (x << 1)) & 0x5555555555555555ULL;
+    return x;
+}
+
+/** Compact the even bit positions of @p x back into the low 32 bits. */
+constexpr uint64_t
+compactBits(uint64_t x)
+{
+    x &= 0x5555555555555555ULL;
+    x = (x | (x >> 1)) & 0x3333333333333333ULL;
+    x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+    x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+    x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+    x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+    return x;
+}
+
+/** Z-Morton code for (row, col): row bits odd, col bits even. */
+constexpr uint64_t
+zMortonEncode(uint32_t row, uint32_t col)
+{
+    return (spreadBits(row) << 1) | spreadBits(col);
+}
+
+/** Inverse of zMortonEncode. */
+constexpr void
+zMortonDecode(uint64_t code, uint32_t &row, uint32_t &col)
+{
+    row = static_cast<uint32_t>(compactBits(code >> 1));
+    col = static_cast<uint32_t>(compactBits(code));
+}
+
+/**
+ * Element offset in a blocked Z-Morton matrix (Figure 6b).
+ *
+ * @param i row, @param j column, @param block block edge (power of two),
+ * @param blocked_cols matrix columns / block (power of two).
+ * The matrix must be square in *blocks* for the Z curve to stay dense; the
+ * BlockedZMatrix container enforces that by padding.
+ */
+constexpr uint64_t
+blockedZOffset(uint32_t i, uint32_t j, uint32_t block,
+               uint32_t /*blocked_cols*/)
+{
+    const uint64_t z = zMortonEncode(i / block, j / block);
+    const uint64_t in_block =
+        static_cast<uint64_t>(i % block) * block + (j % block);
+    return z * block * block + in_block;
+}
+
+} // namespace numaws
+
+#endif // NUMAWS_LAYOUT_ZMORTON_H

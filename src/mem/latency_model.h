@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Memory latency model for the simulated machine.
+ *
+ * Calibrated to the paper's qualitative description (Section I): "tens of
+ * cycles (serviced from the local LLC), over a hundred cycles (serviced
+ * from a local DRAM or a remote LLC), or a few hundreds of cycles
+ * (serviced from a remote DRAM)" — with remote costs growing with QPI hop
+ * count.
+ */
+#ifndef NUMAWS_MEM_LATENCY_MODEL_H
+#define NUMAWS_MEM_LATENCY_MODEL_H
+
+#include <cstdint>
+
+namespace numaws {
+
+/** Where an access was serviced from (for stats and tests). */
+enum class AccessLevel : uint8_t {
+    LocalLlc,
+    LocalDram,
+    RemoteLlc,
+    RemoteDram,
+};
+
+/** Per-cache-line latencies in cycles; defaults follow the paper's prose. */
+struct LatencyModel
+{
+    double localLlcCycles = 40.0;
+    double localDramCycles = 150.0;
+    double remoteLlcCycles = 180.0;
+    double remoteDramCycles = 300.0;
+    /** Extra cycles per additional QPI hop beyond the first. */
+    double perExtraHopCycles = 60.0;
+    /**
+     * Streaming discount: within a contiguous access, lines after the
+     * first of each granule cost this fraction of the full latency
+     * (hardware prefetch + DRAM open-page hits overlap them).
+     */
+    double streamFraction = 0.3;
+
+    /**
+     * Cycles to service one cache line.
+     * @param hit line present in the accessor socket's LLC.
+     * @param hops QPI hops between accessor socket and the line's home
+     *        (0 == same socket). For LLC hits hops is irrelevant: the
+     *        line already lives in the local LLC.
+     */
+    double
+    lineCost(bool hit, int hops) const
+    {
+        if (hit)
+            return localLlcCycles;
+        if (hops == 0)
+            return localDramCycles;
+        return remoteDramCycles + perExtraHopCycles * (hops - 1);
+    }
+
+    AccessLevel
+    classify(bool hit, int hops) const
+    {
+        if (hit)
+            return AccessLevel::LocalLlc;
+        return hops == 0 ? AccessLevel::LocalDram : AccessLevel::RemoteDram;
+    }
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_MEM_LATENCY_MODEL_H

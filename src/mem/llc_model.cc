@@ -1,0 +1,85 @@
+#include "mem/llc_model.h"
+
+#include "support/panic.h"
+
+namespace numaws {
+
+namespace {
+
+std::size_t
+roundDownPow2(std::size_t x)
+{
+    std::size_t p = 1;
+    while (p * 2 <= x)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+LlcModel::LlcModel(uint64_t capacity_bytes, uint64_t granule_bytes, int ways)
+    : _granuleBytes(granule_bytes), _ways(ways)
+{
+    NUMAWS_ASSERT(capacity_bytes >= granule_bytes);
+    NUMAWS_ASSERT(ways >= 1);
+    const std::size_t entries = capacity_bytes / granule_bytes;
+    _numSets = roundDownPow2(
+        std::max<std::size_t>(1, entries / static_cast<std::size_t>(ways)));
+    _ways_storage.assign(_numSets * static_cast<std::size_t>(_ways), Way{});
+}
+
+std::size_t
+LlcModel::setIndex(uint64_t granule) const
+{
+    // Multiplicative hash spreads strided accesses across sets.
+    return static_cast<std::size_t>((granule * 0x9e3779b97f4a7c15ULL)
+                                    >> 32)
+           & (_numSets - 1);
+}
+
+bool
+LlcModel::access(uint64_t addr)
+{
+    const uint64_t granule = addr / _granuleBytes;
+    Way *set = &_ways_storage[setIndex(granule)
+                              * static_cast<std::size_t>(_ways)];
+    ++_clock;
+    int victim = 0;
+    for (int w = 0; w < _ways; ++w) {
+        if (set[w].tag == granule) {
+            set[w].lastUse = _clock;
+            ++_hits;
+            return true;
+        }
+        if (set[w].lastUse < set[victim].lastUse)
+            victim = w;
+    }
+    set[victim].tag = granule;
+    set[victim].lastUse = _clock;
+    ++_misses;
+    return false;
+}
+
+bool
+LlcModel::contains(uint64_t addr) const
+{
+    const uint64_t granule = addr / _granuleBytes;
+    const Way *set = &_ways_storage[setIndex(granule)
+                                    * static_cast<std::size_t>(_ways)];
+    for (int w = 0; w < _ways; ++w)
+        if (set[w].tag == granule)
+            return true;
+    return false;
+}
+
+void
+LlcModel::clear()
+{
+    for (auto &w : _ways_storage)
+        w = Way{};
+    _clock = 0;
+    _hits = 0;
+    _misses = 0;
+}
+
+} // namespace numaws

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared last-level cache model, one instance per simulated socket.
+ *
+ * A set-associative tag array over fixed-size granules (default 4 KB — the
+ * model tracks reuse at block granularity, not per 64-byte line, keeping
+ * simulation cost proportional to data touched / 4 KB). Timestamp
+ * pseudo-LRU replacement. This is deliberately simple: the paper's work
+ * inflation stems from *where* lines are serviced, and capacity/reuse
+ * behaviour at this granularity is sufficient to reproduce it.
+ */
+#ifndef NUMAWS_MEM_LLC_MODEL_H
+#define NUMAWS_MEM_LLC_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace numaws {
+
+/** Set-associative granule cache with LRU-by-timestamp replacement. */
+class LlcModel
+{
+  public:
+    /**
+     * @param capacity_bytes total modeled capacity (e.g. 16 MB).
+     * @param granule_bytes tracking granule (>= one page works well).
+     * @param ways associativity.
+     */
+    LlcModel(uint64_t capacity_bytes, uint64_t granule_bytes = 4096,
+             int ways = 8);
+
+    /**
+     * Access the granule containing @p addr.
+     * @return true on hit; on miss the granule is installed, possibly
+     *         evicting the set's LRU entry.
+     */
+    bool access(uint64_t addr);
+
+    /** True if the granule is currently resident (no state change). */
+    bool contains(uint64_t addr) const;
+
+    /** Drop all contents (between benchmark repetitions). */
+    void clear();
+
+    uint64_t granuleBytes() const { return _granuleBytes; }
+    uint64_t hits() const { return _hits; }
+    uint64_t misses() const { return _misses; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = kInvalid;
+        uint64_t lastUse = 0;
+    };
+
+    static constexpr uint64_t kInvalid = ~0ULL;
+
+    std::size_t setIndex(uint64_t granule) const;
+
+    uint64_t _granuleBytes;
+    int _ways;
+    std::size_t _numSets;
+    std::vector<Way> _ways_storage;
+    uint64_t _clock = 0;
+    uint64_t _hits = 0;
+    uint64_t _misses = 0;
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_MEM_LLC_MODEL_H

@@ -1,0 +1,106 @@
+#include "mem/numa_arena.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "support/panic.h"
+
+namespace numaws {
+
+namespace {
+
+// Track allocation sizes so free() can unregister the exact range.
+std::mutex sizesMutex;
+std::map<void *, std::size_t> &
+allocSizes()
+{
+    static std::map<void *, std::size_t> sizes;
+    return sizes;
+}
+
+} // namespace
+
+void *
+NumaArena::allocRaw(std::size_t bytes)
+{
+    NUMAWS_ASSERT(bytes > 0);
+    const std::size_t rounded =
+        (bytes + kPageBytes - 1) / kPageBytes * kPageBytes;
+    void *p = std::aligned_alloc(kPageBytes, rounded);
+    if (p == nullptr)
+        NUMAWS_FATAL("out of memory allocating %zu bytes", bytes);
+    {
+        std::lock_guard<std::mutex> g(sizesMutex);
+        allocSizes()[p] = rounded;
+    }
+    return p;
+}
+
+void *
+NumaArena::allocOnSocket(std::size_t bytes, int socket)
+{
+    void *p = allocRaw(bytes);
+    rebindOnSocket(p, bytes, socket);
+    return p;
+}
+
+void *
+NumaArena::allocInterleaved(std::size_t bytes)
+{
+    void *p = allocRaw(bytes);
+    _pageMap.registerRange(reinterpret_cast<uint64_t>(p), bytes,
+                           PagePolicy::Interleaved);
+    return p;
+}
+
+void *
+NumaArena::allocPartitioned(std::size_t bytes, int chunks)
+{
+    void *p = allocRaw(bytes);
+    rebindPartitioned(p, bytes, chunks);
+    return p;
+}
+
+void
+NumaArena::rebindOnSocket(void *ptr, std::size_t bytes, int socket)
+{
+    _pageMap.registerRange(reinterpret_cast<uint64_t>(ptr), bytes,
+                           PagePolicy::Single, socket);
+}
+
+void
+NumaArena::rebindPartitioned(void *ptr, std::size_t bytes, int chunks)
+{
+    NUMAWS_ASSERT(chunks > 0);
+    const int sockets = _pageMap.numSockets();
+    const uint64_t base = reinterpret_cast<uint64_t>(ptr);
+    const uint64_t chunk =
+        (bytes / chunks + kPageBytes - 1) / kPageBytes * kPageBytes;
+    uint64_t offset = 0;
+    for (int c = 0; c < chunks && offset < bytes; ++c) {
+        const uint64_t len = std::min<uint64_t>(chunk, bytes - offset);
+        const int home = c * sockets / chunks;
+        _pageMap.registerRange(base + offset, len, PagePolicy::Single, home);
+        offset += len;
+    }
+}
+
+void
+NumaArena::free(void *ptr)
+{
+    if (ptr == nullptr)
+        return;
+    std::size_t bytes = 0;
+    {
+        std::lock_guard<std::mutex> g(sizesMutex);
+        auto it = allocSizes().find(ptr);
+        NUMAWS_ASSERT(it != allocSizes().end());
+        bytes = it->second;
+        allocSizes().erase(it);
+    }
+    _pageMap.unregisterRange(reinterpret_cast<uint64_t>(ptr), bytes);
+    std::free(ptr);
+}
+
+} // namespace numaws

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * NUMA-aware allocation API (the paper's "library functions that allow the
+ * application code to [co-locate data] easily at memory allocation time").
+ *
+ * Allocations come from the host heap; what makes them "NUMA" is the
+ * registration with a PageMap, which the memory model treats as ground
+ * truth for page homes. On a real NUMA kernel the same API would be backed
+ * by mmap + mbind — the call sites would not change.
+ */
+#ifndef NUMAWS_MEM_NUMA_ARENA_H
+#define NUMAWS_MEM_NUMA_ARENA_H
+
+#include <cstddef>
+#include <memory>
+
+#include "mem/page_map.h"
+#include "topology/place.h"
+
+namespace numaws {
+
+/**
+ * Allocator handing out page-aligned blocks registered with home sockets.
+ */
+class NumaArena
+{
+  public:
+    explicit NumaArena(PageMap &page_map) : _pageMap(page_map) {}
+
+    /** Allocate @p bytes homed entirely on @p socket. */
+    void *allocOnSocket(std::size_t bytes, int socket);
+
+    /** Allocate @p bytes with pages interleaved across all sockets. */
+    void *allocInterleaved(std::size_t bytes);
+
+    /**
+     * Allocate @p bytes split into contiguous chunks, chunk i homed on
+     * socket i*sockets/chunks — the partitioning the paper's mergesort
+     * uses for the quarters of `in` and `tmp`.
+     */
+    void *allocPartitioned(std::size_t bytes, int chunks);
+
+    /** Release a block obtained from any alloc* call. */
+    void free(void *ptr);
+
+    /**
+     * Re-home an existing block (applications repartition between phases).
+     */
+    void rebindOnSocket(void *ptr, std::size_t bytes, int socket);
+    void rebindPartitioned(void *ptr, std::size_t bytes, int chunks);
+
+    PageMap &pageMap() { return _pageMap; }
+
+  private:
+    void *allocRaw(std::size_t bytes);
+
+    PageMap &_pageMap;
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_MEM_NUMA_ARENA_H

@@ -1,0 +1,74 @@
+#include "mem/page_map.h"
+
+#include "support/panic.h"
+
+namespace numaws {
+
+void
+PageMap::registerRange(uint64_t base, uint64_t bytes, PagePolicy policy,
+                       int home_socket)
+{
+    NUMAWS_ASSERT(bytes > 0);
+    NUMAWS_ASSERT(home_socket >= 0 && home_socket < _numSockets);
+    std::lock_guard<std::mutex> g(_mutex);
+
+    const uint64_t end = base + bytes;
+    // Trim or split any existing ranges overlapping [base, end).
+    auto it = _ranges.upper_bound(base);
+    if (it != _ranges.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end > base) {
+            // prev overlaps the new range start; split it.
+            Range tail = prev->second;
+            prev->second.end = base;
+            if (tail.end > end)
+                _ranges[end] = tail; // surviving right part
+            if (prev->second.end == prev->first)
+                _ranges.erase(prev);
+        }
+    }
+    it = _ranges.lower_bound(base);
+    while (it != _ranges.end() && it->first < end) {
+        if (it->second.end <= end) {
+            it = _ranges.erase(it);
+        } else {
+            Range tail = it->second;
+            _ranges.erase(it);
+            _ranges[end] = tail;
+            break;
+        }
+    }
+    _ranges[base] = Range{end, policy, home_socket};
+}
+
+void
+PageMap::unregisterRange(uint64_t base, uint64_t bytes)
+{
+    // Re-registering as FirstTouch then erasing keeps the splitting logic
+    // in one place.
+    registerRange(base, bytes, PagePolicy::FirstTouch, 0);
+    std::lock_guard<std::mutex> g(_mutex);
+    _ranges.erase(base);
+}
+
+int
+PageMap::homeOf(uint64_t addr) const
+{
+    std::lock_guard<std::mutex> g(_mutex);
+    auto it = _ranges.upper_bound(addr);
+    if (it == _ranges.begin())
+        return 0;
+    --it;
+    if (addr >= it->second.end)
+        return 0;
+    return resolve(it->second, it->first, addr);
+}
+
+std::size_t
+PageMap::rangeCount() const
+{
+    std::lock_guard<std::mutex> g(_mutex);
+    return _ranges.size();
+}
+
+} // namespace numaws

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Page-to-socket home registry — the library's substitute for the kernel's
+ * physical page placement (`mmap` + `mbind` in the paper, Section III-A).
+ *
+ * On the paper's machine the OS records which socket's DRAM backs each
+ * physical page. Inside a single-node container we keep that mapping
+ * ourselves: allocators register address ranges with a home socket (or an
+ * interleave policy), and the memory model consults the registry to decide
+ * whether an access is local or remote. The granularity is 4 KB pages,
+ * exactly as the paper notes ("one must specify data allocation in page
+ * granularity").
+ */
+#ifndef NUMAWS_MEM_PAGE_MAP_H
+#define NUMAWS_MEM_PAGE_MAP_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace numaws {
+
+/** OS page size assumed by the placement model. */
+inline constexpr uint64_t kPageBytes = 4096;
+
+/** How a registered range maps pages to sockets. */
+enum class PagePolicy : uint8_t {
+    /** Every page homed on one socket. */
+    Single,
+    /** Pages round-robined across sockets page-by-page (numactl -i). */
+    Interleaved,
+    /**
+     * First-touch stand-in: serial initialization faults every page from
+     * the first worker, so the whole range lands on socket 0.
+     */
+    FirstTouch,
+};
+
+/**
+ * Thread-safe interval registry mapping addresses to home sockets.
+ *
+ * Addresses are opaque 64-bit keys: the real runtime registers actual
+ * pointers; the simulator registers synthetic region bases. Both resolve
+ * through the same code so placement semantics cannot diverge.
+ */
+class PageMap
+{
+  public:
+    explicit PageMap(int num_sockets) : _numSockets(num_sockets) {}
+
+    /**
+     * Register [base, base+bytes) with @p policy. For PagePolicy::Single,
+     * @p home_socket names the owning socket; for the other policies it is
+     * ignored. Overlapping re-registration replaces the overlapped part
+     * (matching repeated mbind calls).
+     */
+    void registerRange(uint64_t base, uint64_t bytes, PagePolicy policy,
+                       int home_socket = 0);
+
+    /** Remove any registration covering [base, base+bytes). */
+    void unregisterRange(uint64_t base, uint64_t bytes);
+
+    /**
+     * Home socket of the page containing @p addr; unknown addresses
+     * default to socket 0 (the first-touch outcome for a serial program).
+     */
+    int homeOf(uint64_t addr) const;
+
+    int numSockets() const { return _numSockets; }
+
+    /** Number of registered ranges (test hook). */
+    std::size_t rangeCount() const;
+
+  private:
+    struct Range
+    {
+        uint64_t end;
+        PagePolicy policy;
+        int home;
+    };
+
+    int
+    resolve(const Range &r, uint64_t base, uint64_t addr) const
+    {
+        switch (r.policy) {
+          case PagePolicy::Single:
+            return r.home;
+          case PagePolicy::Interleaved:
+            return static_cast<int>(((addr - base) / kPageBytes)
+                                    % static_cast<uint64_t>(_numSockets));
+          case PagePolicy::FirstTouch:
+            return 0;
+        }
+        return 0;
+    }
+
+    int _numSockets;
+    mutable std::mutex _mutex;
+    std::map<uint64_t, Range> _ranges; // keyed by range base
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_MEM_PAGE_MAP_H

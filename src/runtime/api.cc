@@ -1,0 +1,37 @@
+#include "runtime/api.h"
+
+namespace numaws {
+
+int
+numPlaces()
+{
+    Worker *w = Worker::current();
+    return w == nullptr ? 1 : w->runtime().numPlaces();
+}
+
+Place
+currentPlace()
+{
+    Worker *w = Worker::current();
+    return w == nullptr ? kAnyPlace : w->place();
+}
+
+Runtime *
+currentRuntime()
+{
+    Worker *w = Worker::current();
+    return w == nullptr ? nullptr : &w->runtime();
+}
+
+RangeChunk
+chunkOf(int64_t n, int chunks, int chunk)
+{
+    const int64_t base = n / chunks;
+    const int64_t extra = n % chunks;
+    const int64_t begin =
+        chunk * base + std::min<int64_t>(chunk, extra);
+    const int64_t len = base + (chunk < extra ? 1 : 0);
+    return {begin, begin + len};
+}
+
+} // namespace numaws

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Convenience layer over the runtime: the "hand compiled" form of the
+ * paper's idealized locality API (Section III-A).
+ *
+ * The paper's `cilk_spawn G(...); @p1` notation lowers to runtime calls;
+ * these helpers are those calls. `parallelFor` provides the cilk_for
+ * equivalent (binary spawning of iteration ranges), and
+ * `parallelForPlaces` adds the common partitioning idiom: split the range
+ * into one chunk per place, hint each chunk at its place, then recurse
+ * within the chunk inheriting the hint.
+ */
+#ifndef NUMAWS_RUNTIME_API_H
+#define NUMAWS_RUNTIME_API_H
+
+#include <cstdint>
+
+#include "runtime/runtime.h"
+
+namespace numaws {
+
+/** Number of virtual places in the runtime executing the caller. */
+int numPlaces();
+
+/** Place of the worker executing the caller (kAnyPlace off-runtime). */
+Place currentPlace();
+
+/** The runtime executing the caller, or nullptr off-runtime. */
+Runtime *currentRuntime();
+
+/**
+ * Partition helper: bounds of chunk @p chunk when [0, n) is split into
+ * @p chunks nearly-equal contiguous pieces (remainder spread over the
+ * leading chunks).
+ */
+struct RangeChunk
+{
+    int64_t begin;
+    int64_t end;
+};
+RangeChunk chunkOf(int64_t n, int chunks, int chunk);
+
+/**
+ * Parallel loop over [begin, end): recursive binary splitting down to
+ * @p grain iterations per leaf, spawned on the caller's task group.
+ * The body receives a [lo, hi) subrange.
+ */
+template <typename Body>
+void
+parallelForRange(int64_t begin, int64_t end, int64_t grain,
+                 const Body &body, Place place = kInheritPlace)
+{
+    if (end - begin <= grain) {
+        body(begin, end);
+        return;
+    }
+    const int64_t mid = begin + (end - begin) / 2;
+    TaskGroup tg;
+    tg.spawn([=, &body] { parallelForRange(begin, mid, grain, body); },
+             place);
+    parallelForRange(mid, end, grain, body, place);
+    tg.sync();
+}
+
+/** Element-wise parallel loop: body(i) for i in [begin, end). */
+template <typename Body>
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain, const Body &body)
+{
+    parallelForRange(begin, end, grain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            body(i);
+    });
+}
+
+/**
+ * Place-partitioned parallel loop: [begin, end) is cut into one chunk per
+ * place; chunk p is spawned with hint p and recursively splits inheriting
+ * that hint. The caller should have homed the data the same way (e.g. via
+ * NumaArena::allocPartitioned) for the co-location to pay off.
+ */
+template <typename Body>
+void
+parallelForPlaces(int64_t begin, int64_t end, int64_t grain,
+                  const Body &body)
+{
+    const int places = numPlaces();
+    const int64_t n = end - begin;
+    if (places <= 1 || n <= grain) {
+        parallelForRange(begin, end, grain, body);
+        return;
+    }
+    TaskGroup tg;
+    for (int p = 0; p < places; ++p) {
+        const RangeChunk c = chunkOf(n, places, p);
+        if (c.begin >= c.end)
+            continue;
+        tg.spawn(
+            [=, &body] {
+                parallelForRange(begin + c.begin, begin + c.end, grain,
+                                 body);
+            },
+            static_cast<Place>(p));
+    }
+    tg.sync();
+}
+
+} // namespace numaws
+
+#endif // NUMAWS_RUNTIME_API_H

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * NUMA-WS threaded runtime: the adoptable task-parallel platform.
+ *
+ * Workers are surrogates of processing cores (paper Section II). Each owns
+ * a THE-protocol deque, a single-entry mailbox, and a private RNG. Workers
+ * are grouped into virtual places; the scheduler honors place hints with
+ * best effort via locality-biased steals and lazy work pushing, but load
+ * balancing always comes first (a starving worker will steal against the
+ * hint rather than idle).
+ *
+ * Configuration knobs mirror the paper's mechanisms one-for-one so every
+ * mechanism can be ablated: biased vs uniform victim selection, mailboxes
+ * on/off, the pushing threshold, and the mailbox-vs-deque coin flip.
+ */
+#ifndef NUMAWS_RUNTIME_RUNTIME_H
+#define NUMAWS_RUNTIME_RUNTIME_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "deque/mailbox.h"
+#include "deque/ws_deque.h"
+#include "runtime/task.h"
+#include "support/cache_aligned.h"
+#include "support/panic.h"
+#include "support/rng.h"
+#include "support/spin_lock.h"
+#include "support/timing.h"
+#include "topology/machine.h"
+#include "topology/steal_distribution.h"
+
+namespace numaws {
+
+class Runtime;
+
+/** Runtime construction parameters. */
+struct RuntimeOptions
+{
+    /** Worker threads; 0 means one per host CPU. */
+    int numWorkers = 0;
+    /** Virtual places the workers are spread over. */
+    int numPlaces = 1;
+    /** Locality-biased steals (uniform when false == classic WS). */
+    bool biasedSteals = true;
+    BiasWeights biasWeights{};
+    /** Lazy work pushing via mailboxes. */
+    bool useMailboxes = true;
+    /** Constant pushing threshold (Section III-B). */
+    int pushThreshold = 4;
+    /** Pin worker threads to host CPUs (best effort). */
+    bool pinThreads = false;
+    /** Root seed; worker RNGs derive from it. */
+    uint64_t seed = 0x5eed;
+    /** Deque capacity (spawn depth bound). */
+    std::size_t dequeCapacity = 1 << 16;
+};
+
+/** Per-worker event counters, aggregated by Runtime::stats(). */
+struct WorkerCounters
+{
+    uint64_t spawns = 0;
+    uint64_t stealAttempts = 0;
+    uint64_t steals = 0;          ///< successful deque steals
+    uint64_t mailboxTakes = 0;    ///< frames obtained from a mailbox
+    uint64_t pushbackAttempts = 0;
+    uint64_t pushbackSuccesses = 0;
+    uint64_t pushbackGiveUps = 0; ///< threshold reached, ran it ourselves
+    uint64_t tasksExecuted = 0;
+    uint64_t tasksOnHintedPlace = 0; ///< hinted tasks run where hinted
+
+    void merge(const WorkerCounters &o);
+};
+
+/** Aggregated runtime statistics (counters plus the time split). */
+struct RuntimeStats
+{
+    WorkerCounters counters;
+    TimeSplit time;
+};
+
+/**
+ * Fork-join synchronization scope: the library's cilk_sync.
+ *
+ * Every spawn names its group; sync() returns once all tasks spawned on
+ * the group have completed, helping to execute work while waiting (first
+ * its own deque — descendants only — then stealing, so a blocked worker is
+ * never idle while work exists). Groups nest arbitrarily.
+ */
+class TaskGroup
+{
+  public:
+    TaskGroup();
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /**
+     * Spawn @p fn as a child task.
+     * @param place locality hint: a concrete place, kAnyPlace, or
+     *        kInheritPlace (default) to adopt the spawner's current hint
+     *        (the paper's "subsequently spawned computation inherits the
+     *        locality" rule).
+     */
+    template <typename F>
+    void spawn(F &&fn, Place place = kInheritPlace);
+
+    /** Wait for all spawned tasks, then rethrow the first exception. */
+    void sync();
+
+    /** Outstanding children (test/diagnostic hook). */
+    int64_t pending() const
+    {
+        return _pending.load(std::memory_order_acquire);
+    }
+
+    /** @name Runtime-internal */
+    /// @{
+    void onChildStart() { _pending.fetch_add(1, std::memory_order_relaxed); }
+    void onChildDone() { _pending.fetch_sub(1, std::memory_order_release); }
+    void recordException(std::exception_ptr e);
+    /// @}
+
+  private:
+    std::atomic<int64_t> _pending{0};
+    SpinLock _exceptionLock;
+    std::exception_ptr _exception;
+};
+
+/**
+ * A worker thread: deque + mailbox + RNG + place, and the scheduling loop.
+ */
+class Worker
+{
+  public:
+    Worker(Runtime &runtime, int id, int place, uint64_t seed,
+           std::size_t deque_capacity);
+
+    int id() const { return _id; }
+    Place place() const { return _place; }
+    Runtime &runtime() { return _runtime; }
+
+    /** The worker executing the calling thread, or nullptr. */
+    static Worker *current();
+
+    /** Owner-side push (spawn path). */
+    void pushTask(TaskBase *task);
+
+    /** Current inherited locality hint of the executing task. */
+    Place currentHint() const { return _currentHint; }
+
+    WorkerCounters &counters() { return _counters; }
+    TimeSplit &timeSplit() { return _time; }
+    Mailbox<TaskBase> &mailbox() { return _mailbox; }
+    WsDeque<TaskBase> &deque() { return _deque; }
+    Rng &rng() { return _rng; }
+
+    /** @name Runtime-internal scheduling entry points */
+    /// @{
+    void mainLoop();
+    /** Help execute work until @p group has no pending children. */
+    void helpSync(TaskGroup &group);
+    /** Execute @p task, maintaining hint inheritance and accounting. */
+    void executeTask(TaskBase *task);
+    /**
+     * One steal attempt per the NUMA-WS protocol (biased victim, coin
+     * flip, mailbox outcomes, pushback). Returns a task to run or null.
+     */
+    TaskBase *trySteal();
+    /**
+     * Lazy work pushing: try to park @p task in a mailbox on its hinted
+     * place. Returns true if the frame was handed off; false once the
+     * pushing threshold is reached (caller must run it).
+     */
+    bool pushBack(TaskBase *task);
+    /// @}
+
+  private:
+    TaskBase *acquireLocal();
+
+    /**
+     * Linear-timeline time accounting: a worker's lifetime is a single
+     * sequence of segments, each attributed to exactly one bucket; nested
+     * helping merely switches buckets, so nothing is double counted.
+     */
+    void
+    switchBucket(TimeSplit::Bucket b)
+    {
+        const int64_t t = nowNs();
+        _time.add(_bucket, t - _mark);
+        _mark = t;
+        _bucket = b;
+    }
+
+    Runtime &_runtime;
+    int _id;
+    Place _place;
+    Place _currentHint = kAnyPlace;
+    Rng _rng;
+    WsDeque<TaskBase> _deque;
+    Mailbox<TaskBase> _mailbox;
+    WorkerCounters _counters;
+    TimeSplit _time;
+    TimeSplit::Bucket _bucket = TimeSplit::Idle;
+    int64_t _mark = 0;
+};
+
+/**
+ * The platform: owns workers and exposes run().
+ */
+class Runtime
+{
+  public:
+    explicit Runtime(RuntimeOptions options = {});
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /**
+     * Execute @p fn as the root of a parallel computation and wait for it
+     * (and everything it spawned) to finish. Callable from a non-worker
+     * thread only; runs may be issued repeatedly.
+     */
+    template <typename F>
+    void run(F &&fn);
+
+    int numWorkers() const { return static_cast<int>(_workers.size()); }
+    int numPlaces() const { return _options.numPlaces; }
+    const RuntimeOptions &options() const { return _options; }
+    const StealDistribution &stealDistribution() const { return _dist; }
+    const Machine &machine() const { return _machine; }
+
+    /** Workers on place @p p: [first, last). */
+    std::pair<int, int> workersOfPlace(int p) const;
+
+    /** Aggregate statistics since construction or the last resetStats(). */
+    RuntimeStats stats() const;
+    void resetStats();
+
+    /** @name Runtime-internal */
+    /// @{
+    Worker &worker(int id) { return *_workers[id]; }
+    bool shuttingDown() const
+    {
+        return _shutdown.load(std::memory_order_acquire);
+    }
+    bool rootActive() const
+    {
+        return _rootActive.load(std::memory_order_acquire);
+    }
+    /** Park until work might exist (bounded wait to avoid lost wakeups). */
+    void idleWait();
+    /** Wake parked workers because new work appeared. */
+    void notifyWork();
+    void onRootDone();
+    void setRootException(std::exception_ptr e);
+    /**
+     * Claim the pending root task (worker 0 only — the paper pins the
+     * root computation at the first core on the first socket).
+     */
+    TaskBase *
+    takeRoot()
+    {
+        if (_rootSlot.load(std::memory_order_acquire) == nullptr)
+            return nullptr;
+        return _rootSlot.exchange(nullptr, std::memory_order_acq_rel);
+    }
+    /// @}
+
+  private:
+    void runRoot(TaskBase *root);
+    static Machine machineForPlaces(int places, int workers);
+
+    RuntimeOptions _options;
+    Machine _machine;
+    StealDistribution _dist;
+    std::vector<std::unique_ptr<Worker>> _workers;
+    std::vector<std::thread> _threads;
+
+    std::atomic<bool> _shutdown{false};
+    std::atomic<bool> _rootActive{false};
+    std::atomic<bool> _rootDone{false};
+    std::atomic<TaskBase *> _rootSlot{nullptr};
+    std::exception_ptr _rootException;
+
+    std::mutex _parkMutex;
+    std::condition_variable _parkCv;
+    std::mutex _doneMutex;
+    std::condition_variable _doneCv;
+};
+
+// ---------------------------------------------------------------------
+// Inline template implementations
+// ---------------------------------------------------------------------
+
+template <typename F>
+void
+TaskGroup::spawn(F &&fn, Place place)
+{
+    Worker *w = Worker::current();
+    NUMAWS_ASSERT(w != nullptr); // spawn only from inside run()
+    if (place == kInheritPlace)
+        place = w->currentHint();
+    using Fn = std::decay_t<F>;
+    auto *task = new TaskImpl<Fn>(this, place, std::forward<F>(fn));
+    onChildStart();
+    ++w->counters().spawns;
+    w->pushTask(task);
+}
+
+template <typename F>
+void
+Runtime::run(F &&fn)
+{
+    NUMAWS_ASSERT(Worker::current() == nullptr);
+    // The root runs with no group of its own; completion is signalled via
+    // onRootDone() after fn returns (all nested groups are synced by then).
+    auto body = [this, f = std::forward<F>(fn)]() mutable {
+        try {
+            f();
+        } catch (...) {
+            setRootException(std::current_exception());
+        }
+        onRootDone();
+    };
+    auto *root =
+        new TaskImpl<decltype(body)>(nullptr, kAnyPlace, std::move(body));
+    runRoot(root);
+}
+
+} // namespace numaws
+
+#endif // NUMAWS_RUNTIME_RUNTIME_H

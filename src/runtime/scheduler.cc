@@ -1,0 +1,158 @@
+#include "runtime/runtime.h"
+
+#include "support/panic.h"
+#include "topology/affinity.h"
+
+namespace numaws {
+
+Machine
+Runtime::machineForPlaces(int places, int workers)
+{
+    // Virtual places get the paper machine's socket fabric when they fit
+    // (<= 4 places), so biased-steal hop counts are meaningful; beyond
+    // that, a synthetic ring-free flat SLIT (everything one hop apart).
+    const int per = (workers + places - 1) / places;
+    if (places == 1)
+        return Machine::singleSocket(per);
+    if (places <= 4) {
+        Machine proto = Machine::paperMachineSubset(places * 8);
+        std::vector<int> slit;
+        for (int i = 0; i < places; ++i)
+            for (int j = 0; j < places; ++j)
+                slit.push_back(proto.distance(i, j));
+        return Machine(places, per, slit, proto.ghz(), proto.llcBytes());
+    }
+    std::vector<int> slit(static_cast<std::size_t>(places) * places, 20);
+    for (int i = 0; i < places; ++i)
+        slit[static_cast<std::size_t>(i) * places + i] = 10;
+    return Machine(places, per, slit, 2.2, 16ULL << 20);
+}
+
+Runtime::Runtime(RuntimeOptions options)
+    : _options(options),
+      _machine(machineForPlaces(
+          options.numPlaces,
+          options.numWorkers > 0 ? options.numWorkers : hostCpuCount())),
+      _dist(_machine,
+            options.numWorkers > 0 ? options.numWorkers : hostCpuCount(),
+            options.biasedSteals ? options.biasWeights
+                                 : BiasWeights::uniform())
+{
+    const int workers =
+        _options.numWorkers > 0 ? _options.numWorkers : hostCpuCount();
+    NUMAWS_ASSERT(workers >= 1);
+    if (_options.numPlaces < 1 || _options.numPlaces > workers)
+        NUMAWS_FATAL("numPlaces (%d) must be in [1, numWorkers=%d]",
+                     _options.numPlaces, workers);
+    _options.numWorkers = workers;
+
+    uint64_t seed_state = _options.seed;
+    _workers.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        _workers.push_back(std::make_unique<Worker>(
+            *this, w, _dist.socketOfWorker(w), splitmix64(seed_state),
+            _options.dequeCapacity));
+    }
+    _threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        _threads.emplace_back([this, w] { _workers[w]->mainLoop(); });
+}
+
+Runtime::~Runtime()
+{
+    _shutdown.store(true, std::memory_order_release);
+    notifyWork();
+    for (auto &t : _threads)
+        t.join();
+}
+
+std::pair<int, int>
+Runtime::workersOfPlace(int p) const
+{
+    NUMAWS_ASSERT(p >= 0 && p < _options.numPlaces);
+    // Matches StealDistribution's even-spread, socket-major packing.
+    const int workers = _options.numWorkers;
+    const int per = (workers + _options.numPlaces - 1) / _options.numPlaces;
+    const int first = p * per;
+    const int last = std::min(workers, first + per);
+    return {first, last};
+}
+
+RuntimeStats
+Runtime::stats() const
+{
+    RuntimeStats s;
+    for (const auto &w : _workers) {
+        s.counters.merge(const_cast<Worker &>(*w).counters());
+        s.time.merge(const_cast<Worker &>(*w).timeSplit());
+    }
+    return s;
+}
+
+void
+Runtime::resetStats()
+{
+    NUMAWS_ASSERT(!rootActive());
+    for (auto &w : _workers) {
+        w->counters() = WorkerCounters{};
+        w->timeSplit() = TimeSplit{};
+    }
+}
+
+void
+Runtime::idleWait()
+{
+    std::unique_lock<std::mutex> lock(_parkMutex);
+    if (shuttingDown())
+        return;
+    // Bounded wait: a lost wakeup costs at most one timeout period.
+    _parkCv.wait_for(lock, std::chrono::microseconds(200));
+}
+
+void
+Runtime::notifyWork()
+{
+    _parkCv.notify_all();
+}
+
+void
+Runtime::onRootDone()
+{
+    std::lock_guard<std::mutex> g(_doneMutex);
+    _rootDone.store(true, std::memory_order_release);
+    _doneCv.notify_all();
+}
+
+void
+Runtime::setRootException(std::exception_ptr e)
+{
+    _rootException = std::move(e);
+}
+
+void
+Runtime::runRoot(TaskBase *root)
+{
+    NUMAWS_ASSERT(!rootActive());
+    _rootDone.store(false, std::memory_order_relaxed);
+    _rootException = nullptr;
+
+    // Seed the computation at the first worker of the first place: the
+    // paper pins the root at the first core on the first socket. A
+    // dedicated slot (not the mailbox) keeps thieves from grabbing it.
+    TaskBase *expected = nullptr;
+    const bool placed = _rootSlot.compare_exchange_strong(
+        expected, root, std::memory_order_acq_rel);
+    NUMAWS_ASSERT(placed);
+    _rootActive.store(true, std::memory_order_release);
+    notifyWork();
+
+    std::unique_lock<std::mutex> lock(_doneMutex);
+    _doneCv.wait(lock, [this] {
+        return _rootDone.load(std::memory_order_acquire);
+    });
+    _rootActive.store(false, std::memory_order_release);
+    if (_rootException)
+        std::rethrow_exception(_rootException);
+}
+
+} // namespace numaws

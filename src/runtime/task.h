@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Task objects for the threaded runtime.
+ *
+ * The paper's Cilk Plus substrate steals *continuations*, which requires
+ * compiler support (Tapir lowers cilk_spawn into runtime calls that can
+ * suspend a stack frame). A pure library cannot do that, so the threaded
+ * engine uses the standard library-runtime model: a spawn allocates a child
+ * task object, pushes it on the deque, and the parent continues. Every
+ * NUMA-WS *mechanism* is retained at task granularity: the place hint with
+ * inheritance, the stolen flag (the shadow-frame -> full-frame promotion
+ * analogue), and the pushback counter that enforces the constant pushing
+ * threshold. The simulator (src/sim) models true continuation stealing.
+ */
+#ifndef NUMAWS_RUNTIME_TASK_H
+#define NUMAWS_RUNTIME_TASK_H
+
+#include <cstdint>
+#include <utility>
+
+#include "topology/place.h"
+
+namespace numaws {
+
+class TaskGroup;
+class Worker;
+
+/**
+ * Type-erased unit of work. Allocated on spawn, freed after execution.
+ */
+class TaskBase
+{
+  public:
+    TaskBase(TaskGroup *group, Place place)
+        : _group(group), _place(place)
+    {}
+
+    virtual ~TaskBase() = default;
+
+    /** Run the closure on @p worker. */
+    virtual void run(Worker &worker) = 0;
+
+    TaskGroup *group() const { return _group; }
+    Place place() const { return _place; }
+    void setPlace(Place p) { _place = p; }
+
+    /** Promotion analogue: set when a thief takes this task. */
+    bool stolen() const { return _stolen; }
+    void markStolen() { _stolen = true; }
+
+    /** Failed PUSHBACK attempts so far (capped by the pushing threshold). */
+    uint32_t pushCount() const { return _pushCount; }
+    void incPushCount() { ++_pushCount; }
+
+  private:
+    TaskGroup *_group;
+    Place _place;
+    bool _stolen = false;
+    uint32_t _pushCount = 0;
+};
+
+/** Concrete task holding a callable inline (one allocation per spawn). */
+template <typename F>
+class TaskImpl final : public TaskBase
+{
+  public:
+    TaskImpl(TaskGroup *group, Place place, F &&fn)
+        : TaskBase(group, place), _fn(std::move(fn))
+    {}
+
+    void run(Worker &) override { _fn(); }
+
+  private:
+    F _fn;
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_RUNTIME_TASK_H

@@ -1,0 +1,46 @@
+#include "runtime/runtime.h"
+
+#include "support/panic.h"
+
+namespace numaws {
+
+TaskGroup::TaskGroup() = default;
+
+TaskGroup::~TaskGroup()
+{
+    // A group must not die with live children; sync here as a safety net
+    // (mirrors the implicit cilk_sync at the end of every Cilk function).
+    if (pending() > 0) {
+        Worker *w = Worker::current();
+        NUMAWS_ASSERT(w != nullptr);
+        w->helpSync(*this);
+    }
+}
+
+void
+TaskGroup::sync()
+{
+    Worker *w = Worker::current();
+    NUMAWS_ASSERT(w != nullptr); // sync only from inside run()
+    w->helpSync(*this);
+    NUMAWS_ASSERT(pending() == 0);
+
+    std::exception_ptr e;
+    {
+        std::lock_guard<SpinLock> g(_exceptionLock);
+        e = _exception;
+        _exception = nullptr;
+    }
+    if (e)
+        std::rethrow_exception(e);
+}
+
+void
+TaskGroup::recordException(std::exception_ptr e)
+{
+    std::lock_guard<SpinLock> g(_exceptionLock);
+    if (!_exception)
+        _exception = std::move(e);
+}
+
+} // namespace numaws

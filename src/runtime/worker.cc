@@ -1,0 +1,221 @@
+#include "runtime/runtime.h"
+
+#include "support/panic.h"
+#include "topology/affinity.h"
+
+namespace numaws {
+
+namespace {
+
+thread_local Worker *tlsWorker = nullptr;
+
+} // namespace
+
+void
+WorkerCounters::merge(const WorkerCounters &o)
+{
+    spawns += o.spawns;
+    stealAttempts += o.stealAttempts;
+    steals += o.steals;
+    mailboxTakes += o.mailboxTakes;
+    pushbackAttempts += o.pushbackAttempts;
+    pushbackSuccesses += o.pushbackSuccesses;
+    pushbackGiveUps += o.pushbackGiveUps;
+    tasksExecuted += o.tasksExecuted;
+    tasksOnHintedPlace += o.tasksOnHintedPlace;
+}
+
+Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
+               std::size_t deque_capacity)
+    : _runtime(runtime),
+      _id(id),
+      _place(place),
+      _rng(seed),
+      _deque(deque_capacity),
+      _mark(nowNs())
+{}
+
+Worker *
+Worker::current()
+{
+    return tlsWorker;
+}
+
+void
+Worker::pushTask(TaskBase *task)
+{
+    _deque.pushTail(task);
+    _runtime.notifyWork();
+}
+
+TaskBase *
+Worker::acquireLocal()
+{
+    // Work path first: the tail of the own deque...
+    if (TaskBase *t = _deque.popTail())
+        return t;
+    // ...then POPMAILBOX: a frame some worker parked here for this place.
+    if (TaskBase *t = _mailbox.tryTake()) {
+        ++_counters.mailboxTakes;
+        return t;
+    }
+    // Worker 0 also owns the root-injection slot.
+    if (_id == 0) {
+        if (TaskBase *t = _runtime.takeRoot())
+            return t;
+    }
+    return nullptr;
+}
+
+TaskBase *
+Worker::trySteal()
+{
+    if (_runtime.numWorkers() <= 1)
+        return nullptr;
+    ++_counters.stealAttempts;
+    const int victim_id = _runtime.stealDistribution().sample(_id, _rng);
+    Worker &victim = _runtime.worker(victim_id);
+
+    TaskBase *task = nullptr;
+    bool from_mailbox = false;
+    // BIASEDSTEALWITHPUSH: flip a coin between the victim's mailbox and
+    // its deque. Always checking the mailbox first would let a critical
+    // node at a deque head starve (Section IV).
+    if (_runtime.options().useMailboxes && _rng.flip()) {
+        task = victim.mailbox().tryTake();
+        from_mailbox = task != nullptr;
+        // Outcome 1 (mailbox empty): fall through to the deque.
+    }
+    if (task == nullptr)
+        task = victim.deque().stealHead();
+    if (task == nullptr)
+        return nullptr;
+
+    // Successful steal: everything past this point is scheduler
+    // bookkeeping, charged to scheduling time (the span term).
+    switchBucket(TimeSplit::Scheduling);
+    if (from_mailbox)
+        ++_counters.mailboxTakes;
+    else
+        ++_counters.steals;
+    // Promotion analogue: the task has now migrated off its spawner.
+    task->markStolen();
+
+    // Lazy work pushing happens only here, on the steal path — a frame
+    // acquired from the own deque never pays this check beyond a compare.
+    if (isConcretePlace(task->place()) && task->place() != _place) {
+        if (pushBack(task)) {
+            switchBucket(TimeSplit::Idle);
+            return nullptr; // handed off; keep looking for other work
+        }
+        // Pushing threshold reached: honor load balance over locality.
+    }
+    return task;
+}
+
+bool
+Worker::pushBack(TaskBase *task)
+{
+    const RuntimeOptions &opts = _runtime.options();
+    if (!opts.useMailboxes)
+        return false;
+    const Place target = task->place();
+    NUMAWS_ASSERT(isConcretePlace(target));
+    const auto [first, last] = _runtime.workersOfPlace(target);
+    if (first >= last)
+        return false;
+    while (task->pushCount()
+           < static_cast<uint32_t>(opts.pushThreshold)) {
+        ++_counters.pushbackAttempts;
+        const int receiver =
+            first
+            + static_cast<int>(_rng.nextBounded(
+                static_cast<uint64_t>(last - first)));
+        if (_runtime.worker(receiver).mailbox().tryPut(task)) {
+            ++_counters.pushbackSuccesses;
+            _runtime.notifyWork();
+            return true;
+        }
+        task->incPushCount();
+    }
+    ++_counters.pushbackGiveUps;
+    return false;
+}
+
+void
+Worker::executeTask(TaskBase *task)
+{
+    switchBucket(TimeSplit::Work);
+    const Place prev_hint = _currentHint;
+    _currentHint = task->place();
+    ++_counters.tasksExecuted;
+    if (isConcretePlace(task->place()) && task->place() == _place)
+        ++_counters.tasksOnHintedPlace;
+
+    try {
+        task->run(*this);
+    } catch (...) {
+        if (task->group() != nullptr)
+            task->group()->recordException(std::current_exception());
+        else
+            throw; // root-task exceptions are captured by Runtime::run
+    }
+
+    _currentHint = prev_hint;
+    if (task->group() != nullptr)
+        task->group()->onChildDone();
+    delete task;
+    switchBucket(TimeSplit::Idle);
+}
+
+void
+Worker::helpSync(TaskGroup &group)
+{
+    // We are inside a task body (bucket == Work); the wait itself is not
+    // useful work until we actually find something to execute.
+    switchBucket(TimeSplit::Idle);
+    while (group.pending() > 0) {
+        TaskBase *t = acquireLocal();
+        if (t == nullptr && _runtime.rootActive())
+            t = trySteal();
+        if (t != nullptr)
+            executeTask(t);
+        else
+            for (int i = 0; i < 32 && group.pending() > 0; ++i)
+                cpuRelax();
+    }
+    // Control returns to the syncing task's body.
+    switchBucket(TimeSplit::Work);
+}
+
+void
+Worker::mainLoop()
+{
+    tlsWorker = this;
+    if (_runtime.options().pinThreads)
+        pinCurrentThread(_id);
+    _mark = nowNs();
+    _bucket = TimeSplit::Idle;
+
+    int failures = 0;
+    while (!_runtime.shuttingDown()) {
+        TaskBase *t = acquireLocal();
+        if (t == nullptr && _runtime.rootActive())
+            t = trySteal();
+        if (t != nullptr) {
+            failures = 0;
+            executeTask(t);
+            continue;
+        }
+        if (++failures >= 64) {
+            _runtime.idleWait();
+            failures = 0;
+        } else {
+            cpuRelax();
+        }
+    }
+    switchBucket(TimeSplit::Idle); // flush the final segment
+    tlsWorker = nullptr;
+}
+
+} // namespace numaws

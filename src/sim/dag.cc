@@ -1,0 +1,252 @@
+#include "sim/dag.h"
+
+#include <algorithm>
+
+#include "mem/page_map.h"
+
+namespace numaws::sim {
+
+// ---------------------------------------------------------------------
+// ComputationDag
+// ---------------------------------------------------------------------
+
+WorkSpan
+ComputationDag::workSpan(double spawn_cost, double sync_cost) const
+{
+    // Children are created after their parents, so child ids exceed parent
+    // ids; one reverse sweep computes every frame before its parent needs
+    // it (no recursion, safe for deep dags).
+    std::vector<double> work(_frames.size(), 0.0);
+    std::vector<double> span(_frames.size(), 0.0);
+
+    for (std::size_t i = _frames.size(); i-- > 0;) {
+        const Frame &f = _frames[i];
+        double w = 0.0;
+        double t = 0.0;          // time along the frame's own path
+        double pending_max = 0.0; // max completion among unsynced children
+        for (uint32_t it = f.itemBegin; it < f.itemEnd; ++it) {
+            const Item &item = _items[it];
+            switch (item.kind) {
+              case ItemKind::Strand:
+                w += item.cycles;
+                t += item.cycles;
+                break;
+              case ItemKind::Spawn:
+                w += spawn_cost + work[item.child];
+                t += spawn_cost;
+                pending_max =
+                    std::max(pending_max, t + span[item.child]);
+                break;
+              case ItemKind::Sync:
+                w += sync_cost;
+                t += sync_cost;
+                t = std::max(t, pending_max);
+                pending_max = 0.0;
+                break;
+            }
+        }
+        work[i] = w;
+        span[i] = t;
+    }
+    return {work[_root], span[_root]};
+}
+
+int
+ComputationDag::homeOf(RegionId r, uint64_t offset, int sockets) const
+{
+    const Region &reg = _regions[r];
+    switch (reg.policy) {
+      case RegionPolicy::Single:
+        return reg.home < sockets ? reg.home : 0;
+      case RegionPolicy::Interleaved:
+        return static_cast<int>((offset / kPageBytes)
+                                % static_cast<uint64_t>(sockets));
+      case RegionPolicy::Partitioned: {
+        if (reg.bytes == 0)
+            return 0;
+        const uint64_t clamped = std::min(offset, reg.bytes - 1);
+        return static_cast<int>(
+            clamped * static_cast<uint64_t>(sockets) / reg.bytes);
+      }
+      case RegionPolicy::Custom: {
+        const int home = reg.customHome(offset);
+        return home < sockets ? home : home % sockets;
+      }
+    }
+    return 0;
+}
+
+bool
+ComputationDag::hasPlaceHints() const
+{
+    for (const Frame &f : _frames)
+        if (isConcretePlace(f.place))
+            return true;
+    return false;
+}
+
+uint64_t
+ComputationDag::totalRegionBytes() const
+{
+    uint64_t total = 0;
+    for (const Region &r : _regions)
+        total += r.bytes;
+    return total;
+}
+
+// ---------------------------------------------------------------------
+// DagBuilder
+// ---------------------------------------------------------------------
+
+DagBuilder::DagBuilder() = default;
+
+RegionId
+DagBuilder::region(std::string name, uint64_t bytes, RegionPolicy policy,
+                   int home)
+{
+    NUMAWS_ASSERT(!_finished);
+    NUMAWS_ASSERT(policy != RegionPolicy::Custom);
+    Region r;
+    r.name = std::move(name);
+    r.bytes = bytes;
+    r.policy = policy;
+    r.home = home;
+    r.base = _nextBase;
+    _nextBase += (bytes + kPageBytes - 1) / kPageBytes * kPageBytes
+                 + kPageBytes; // guard page between regions
+    _dag._regions.push_back(std::move(r));
+    return static_cast<RegionId>(_dag._regions.size() - 1);
+}
+
+RegionId
+DagBuilder::regionCustom(std::string name, uint64_t bytes,
+                         std::function<int(uint64_t)> home_of)
+{
+    NUMAWS_ASSERT(!_finished);
+    Region r;
+    r.name = std::move(name);
+    r.bytes = bytes;
+    r.policy = RegionPolicy::Custom;
+    r.customHome = std::move(home_of);
+    r.base = _nextBase;
+    _nextBase += (bytes + kPageBytes - 1) / kPageBytes * kPageBytes
+                 + kPageBytes;
+    _dag._regions.push_back(std::move(r));
+    return static_cast<RegionId>(_dag._regions.size() - 1);
+}
+
+void
+DagBuilder::beginRoot(Place place)
+{
+    NUMAWS_ASSERT(!_finished && _stack.empty()
+                  && _dag._root == kNoFrame);
+    Frame f;
+    f.place = place;
+    f.parent = kNoFrame;
+    _dag._frames.push_back(f);
+    _dag._root = 0;
+    _stack.push_back(OpenFrame{0, {}, 0});
+}
+
+void
+DagBuilder::spawn(Place place)
+{
+    requireOpenFrame();
+    OpenFrame &parent = _stack.back();
+
+    Frame f;
+    f.place = place == kInheritPlace ? _dag._frames[parent.id].place
+                                     : place;
+    f.parent = parent.id;
+    const FrameId child = static_cast<FrameId>(_dag._frames.size());
+    _dag._frames.push_back(f);
+
+    Item spawn_item;
+    spawn_item.kind = ItemKind::Spawn;
+    spawn_item.child = child;
+    parent.items.push_back(spawn_item);
+    ++parent.spawnsSinceSync;
+
+    _stack.push_back(OpenFrame{child, {}, 0});
+}
+
+void
+DagBuilder::strand(double cycles, std::initializer_list<MemAccess> accesses)
+{
+    strand(cycles, std::vector<MemAccess>(accesses));
+}
+
+void
+DagBuilder::strand(double cycles, const std::vector<MemAccess> &accesses)
+{
+    requireOpenFrame();
+    NUMAWS_ASSERT(cycles >= 0.0);
+    Item item;
+    item.kind = ItemKind::Strand;
+    item.cycles = cycles;
+    item.accessBegin = static_cast<uint32_t>(_dag._accesses.size());
+    for (const MemAccess &a : accesses) {
+        NUMAWS_ASSERT(a.region >= 0
+                      && a.region
+                             < static_cast<RegionId>(_dag._regions.size()));
+        NUMAWS_ASSERT(a.offset + a.bytes <= _dag._regions[a.region].bytes);
+        if (a.bytes > 0)
+            _dag._accesses.push_back(a);
+    }
+    item.accessEnd = static_cast<uint32_t>(_dag._accesses.size());
+    _stack.back().items.push_back(item);
+    ++_dag._numStrands;
+}
+
+void
+DagBuilder::sync()
+{
+    requireOpenFrame();
+    Item item;
+    item.kind = ItemKind::Sync;
+    _stack.back().items.push_back(item);
+    _stack.back().spawnsSinceSync = 0;
+}
+
+void
+DagBuilder::end()
+{
+    requireOpenFrame();
+    // Cilk semantics: implicit sync at the end of every spawning function.
+    if (_stack.back().spawnsSinceSync > 0)
+        sync();
+
+    OpenFrame open = std::move(_stack.back());
+    _stack.pop_back();
+
+    Frame &f = _dag._frames[open.id];
+    f.itemBegin = static_cast<uint32_t>(_dag._items.size());
+    for (std::size_t k = 0; k < open.items.size(); ++k) {
+        const Item &item = open.items[k];
+        if (item.kind == ItemKind::Spawn) {
+            // The parent's continuation resumes at the next item.
+            _dag._frames[item.child].parentResumeItem =
+                f.itemBegin + static_cast<uint32_t>(k) + 1;
+        }
+        _dag._items.push_back(item);
+    }
+    f.itemEnd = static_cast<uint32_t>(_dag._items.size());
+}
+
+ComputationDag
+DagBuilder::finish()
+{
+    NUMAWS_ASSERT(!_finished);
+    NUMAWS_ASSERT(_stack.empty());
+    NUMAWS_ASSERT(_dag._root != kNoFrame);
+    _finished = true;
+    return std::move(_dag);
+}
+
+void
+DagBuilder::requireOpenFrame() const
+{
+    NUMAWS_ASSERT(!_finished && !_stack.empty());
+}
+
+} // namespace numaws::sim

@@ -1,0 +1,22 @@
+#include "sim/metrics.h"
+
+#include <cstdio>
+
+namespace numaws::sim {
+
+std::string
+SimResult::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "P=%d T=%.4fs W=%.4fs S=%.4fs I=%.4fs steals=%llu "
+                  "pushes=%llu remote=%.1f%%",
+                  cores, elapsedSeconds, workSeconds, schedSeconds,
+                  idleSeconds,
+                  static_cast<unsigned long long>(counters.steals),
+                  static_cast<unsigned long long>(counters.pushSuccesses),
+                  memory.remoteFraction() * 100.0);
+    return buf;
+}
+
+} // namespace numaws::sim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Results of one simulated execution: the paper's measurement vocabulary.
+ *
+ * Work time / scheduling time / idle time follow Section II's definitions:
+ * work = executing strands (plus the spawn/sync overhead on the work
+ * path), scheduling = frame promotions, nontrivial syncs, resumes, and
+ * work pushing, idle = failed steal attempts and end-of-computation
+ * waiting.
+ */
+#ifndef NUMAWS_SIM_METRICS_H
+#define NUMAWS_SIM_METRICS_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/memory.h"
+
+namespace numaws::sim {
+
+/** Scheduler event counters for one run. */
+struct SimCounters
+{
+    uint64_t strandsExecuted = 0;
+    uint64_t spawns = 0;
+    uint64_t trivialSyncs = 0;
+    uint64_t nontrivialSyncs = 0;
+    uint64_t suspensions = 0;
+    uint64_t stealAttempts = 0;
+    uint64_t steals = 0;         ///< successful deque steals (promotions)
+    uint64_t mailboxSteals = 0;  ///< frames a thief took from a mailbox
+    uint64_t mailboxPops = 0;    ///< frames a worker took from its own box
+    uint64_t pushAttempts = 0;
+    uint64_t pushSuccesses = 0;
+    uint64_t pushGiveUps = 0;
+    uint64_t resumes = 0;        ///< suspended-parent resumptions
+};
+
+/** Outcome of one simulated run. */
+struct SimResult
+{
+    int cores = 0;
+    double ghz = 0.0;
+
+    /** Makespan in cycles (and seconds for convenience). */
+    double elapsedCycles = 0.0;
+    double elapsedSeconds = 0.0;
+
+    /** Summed across cores, in seconds (paper's W_P, S_P, I_P). */
+    double workSeconds = 0.0;
+    double schedSeconds = 0.0;
+    double idleSeconds = 0.0;
+
+    SimCounters counters;
+    MemCounters memory;
+
+    /** Total processing time (work + sched + idle), seconds. */
+    double
+    totalProcessingSeconds() const
+    {
+        return workSeconds + schedSeconds + idleSeconds;
+    }
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+};
+
+} // namespace numaws::sim
+
+#endif // NUMAWS_SIM_METRICS_H

@@ -1,0 +1,458 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/panic.h"
+
+namespace numaws::sim {
+
+namespace {
+
+/** Execution state of one frame (the full-frame bookkeeping). */
+struct FrameState
+{
+    bool stolen = false;    ///< stolen since its last successful sync
+    bool suspended = false; ///< parked at a nontrivial sync
+    int32_t joinCount = 0;  ///< outstanding stolen-away children
+    uint32_t resumeItem = 0;
+    uint32_t pushCount = 0; ///< PUSHBACK attempts (lifetime, per paper)
+};
+
+/** A stealable execution state: frame + next item. */
+struct Continuation
+{
+    FrameId frame = kNoFrame;
+    uint32_t item = 0;
+
+    bool valid() const { return frame != kNoFrame; }
+};
+
+enum class NextAction : uint8_t { Steal, CheckParent };
+
+/** Time bucket a step's cost is charged to. */
+enum class Charge : uint8_t { Work, Sched, Idle };
+
+struct CoreState
+{
+    double clock = 0.0;
+    Continuation cur;
+    std::deque<Continuation> deq; ///< back == tail (owner), front == head
+    std::optional<Continuation> mailbox;
+    NextAction next = NextAction::Steal;
+    FrameId checkParent = kNoFrame;
+    Rng rng{0};
+
+    double workCycles = 0.0;
+    double schedCycles = 0.0;
+    double idleCycles = 0.0;
+};
+
+struct Event
+{
+    double time;
+    uint64_t seq;
+    int core;
+
+    bool
+    operator>(const Event &o) const
+    {
+        return time != o.time ? time > o.time : seq > o.seq;
+    }
+};
+
+/** The whole-run state: one simulated execution. */
+class Simulation
+{
+  public:
+    Simulation(const ComputationDag &dag, const Machine &machine, int cores,
+               const SimConfig &config, LatencyModel latency)
+        : _dag(dag),
+          _machine(machine),
+          _cfg(config),
+          _numCores(cores),
+          _dist(machine, cores,
+                config.biasedSteals ? config.biasWeights
+                                    : BiasWeights::uniform()),
+          _memory(machine, dag, latency),
+          _frames(dag.numFrames()),
+          _cores(static_cast<std::size_t>(cores))
+    {
+        NUMAWS_ASSERT(cores >= 1);
+        uint64_t seed_state = config.seed;
+        for (int c = 0; c < cores; ++c)
+            _cores[c].rng = Rng(splitmix64(seed_state));
+        // The root computation starts on core 0 (first core of the first
+        // socket, as the runtime pins it).
+        _cores[0].cur = Continuation{dag.root(), dag.frame(dag.root())
+                                                     .itemBegin};
+    }
+
+    SimResult run();
+
+  private:
+    int socketOf(int core) const { return _dist.socketOfWorker(core); }
+
+    /** Active cores [first, last) on @p socket (even-spread packing). */
+    std::pair<int, int>
+    coresOfSocket(int socket) const
+    {
+        const int sockets = _machine.numSockets();
+        const int per = (_numCores + sockets - 1) / sockets;
+        const int first = socket * per;
+        const int last = std::min(_numCores, first + per);
+        return {first, last};
+    }
+
+    bool
+    placeMismatch(int core, Place place) const
+    {
+        if (!_cfg.useMailboxes || !isConcretePlace(place))
+            return false;
+        if (place >= _machine.numSockets())
+            return false; // hint beyond this machine: ignore
+        const auto [first, last] = coresOfSocket(place);
+        if (first >= last)
+            return false; // no active cores there: unsatisfiable hint
+        return socketOf(core) != place;
+    }
+
+    /**
+     * PUSHBACK (Figure 5): deposit @p cont into a random mailbox on its
+     * designated socket, retrying up to the pushing threshold. Returns
+     * true if handed off. @p cost accumulates attempt costs.
+     */
+    bool
+    pushBack(int core, Continuation cont, double &cost)
+    {
+        FrameState &fs = _frames[cont.frame];
+        const Place target = _dag.frame(cont.frame).place;
+        const auto [first, last] = coresOfSocket(target);
+        NUMAWS_ASSERT(first < last);
+        bool pushed = false;
+        while (fs.pushCount < static_cast<uint32_t>(_cfg.pushThreshold)) {
+            ++_counters.pushAttempts;
+            cost += _cfg.pushAttemptCost;
+            const int receiver =
+                first
+                + static_cast<int>(_cores[core].rng.nextBounded(
+                    static_cast<uint64_t>(last - first)));
+            if (receiver != core && !_cores[receiver].mailbox.has_value()) {
+                _cores[receiver].mailbox = cont;
+                ++_counters.pushSuccesses;
+                pushed = true;
+                break;
+            }
+            ++fs.pushCount;
+        }
+        if (!pushed)
+            ++_counters.pushGiveUps;
+        return pushed;
+    }
+
+    /** One scheduling step for @p core; returns (cost, charge). */
+    std::pair<double, Charge> step(int core);
+
+    std::pair<double, Charge> stepExecute(int core);
+    std::pair<double, Charge> stepReturn(int core);
+    std::pair<double, Charge> stepSchedulingLoop(int core);
+    std::pair<double, Charge> stepStealAttempt(int core);
+
+    const ComputationDag &_dag;
+    const Machine &_machine;
+    SimConfig _cfg;
+    int _numCores;
+    StealDistribution _dist;
+    SimMemory _memory;
+    std::vector<FrameState> _frames;
+    std::vector<CoreState> _cores;
+    SimCounters _counters;
+    MemCounters _mem_counters;
+    bool _done = false;
+    double _doneTime = 0.0;
+};
+
+std::pair<double, Charge>
+Simulation::stepReturn(int core)
+{
+    CoreState &c = _cores[core];
+    const Frame &f = _dag.frame(c.cur.frame);
+
+    if (!c.deq.empty()) {
+        // Parent's continuation is still ours: pop and keep going
+        // (Figure 2 lines 3-5). With continuation stealing the tail is
+        // necessarily the immediate parent.
+        const Continuation parent = c.deq.back();
+        c.deq.pop_back();
+        NUMAWS_ASSERT(parent.frame == f.parent);
+        c.cur = parent;
+        return {_cfg.returnCost, Charge::Work};
+    }
+
+    // Deque empty: either this is the root finishing, or our parent's
+    // continuation was stolen (Figure 2 lines 6-8).
+    c.cur = Continuation{};
+    if (f.parent == kNoFrame) {
+        _done = true;
+        _doneTime = c.clock + _cfg.returnCost;
+        return {_cfg.returnCost, Charge::Work};
+    }
+    FrameState &ps = _frames[f.parent];
+    NUMAWS_ASSERT(ps.stolen || ps.suspended);
+    NUMAWS_ASSERT(ps.joinCount > 0);
+    --ps.joinCount;
+    if (ps.suspended && ps.joinCount == 0) {
+        // We are the last returning child: CHECK_PARENT next.
+        c.next = NextAction::CheckParent;
+        c.checkParent = f.parent;
+    } else {
+        c.next = NextAction::Steal;
+    }
+    return {_cfg.returnCost, Charge::Work};
+}
+
+std::pair<double, Charge>
+Simulation::stepExecute(int core)
+{
+    CoreState &c = _cores[core];
+    const Frame &f = _dag.frame(c.cur.frame);
+    if (c.cur.item == f.itemEnd)
+        return stepReturn(core);
+
+    const Item &item = _dag.item(c.cur.item);
+    switch (item.kind) {
+      case ItemKind::Strand: {
+        ++_counters.strandsExecuted;
+        const double mem = _memory.cost(socketOf(core), item.accessBegin,
+                                        item.accessEnd, _mem_counters);
+        ++c.cur.item;
+        return {item.cycles + mem, Charge::Work};
+      }
+      case ItemKind::Spawn: {
+        ++_counters.spawns;
+        // Push the continuation; descend into the child (Figure 2 lines
+        // 1-2). This is continuation stealing: the child runs here, the
+        // parent's remainder becomes stealable.
+        c.deq.push_back(Continuation{c.cur.frame, c.cur.item + 1});
+        c.cur = Continuation{item.child,
+                             _dag.frame(item.child).itemBegin};
+        return {_cfg.spawnCost, Charge::Work};
+      }
+      case ItemKind::Sync: {
+        FrameState &fs = _frames[c.cur.frame];
+        if (!fs.stolen) {
+            // Shadow-frame sync is a no-op (Figure 2 line 18).
+            ++_counters.trivialSyncs;
+            ++c.cur.item;
+            return {_cfg.syncTrivialCost, Charge::Work};
+        }
+        ++_counters.nontrivialSyncs;
+        double cost = _cfg.syncNontrivialCost;
+        if (fs.joinCount == 0) {
+            // CHECKSYNC succeeded; the frame is whole again.
+            fs.stolen = false;
+            const uint32_t next_item = c.cur.item + 1;
+            // Figure 5 lines 5-11: place check + lazy pushback.
+            if (placeMismatch(core, f.place)) {
+                Continuation cont{c.cur.frame, next_item};
+                if (pushBack(core, cont, cost)) {
+                    c.cur = Continuation{};
+                    c.next = NextAction::Steal;
+                    return {cost, Charge::Sched};
+                }
+            }
+            c.cur.item = next_item;
+            return {cost, Charge::Sched};
+        }
+        // Outstanding children: suspend and go steal (lines 12-15).
+        ++_counters.suspensions;
+        fs.suspended = true;
+        fs.resumeItem = c.cur.item + 1;
+        c.cur = Continuation{};
+        c.next = NextAction::Steal;
+        return {cost, Charge::Sched};
+      }
+    }
+    NUMAWS_PANIC("unreachable item kind");
+}
+
+std::pair<double, Charge>
+Simulation::stepStealAttempt(int core)
+{
+    CoreState &c = _cores[core];
+    if (_numCores <= 1)
+        return {_cfg.stealAttemptBase, Charge::Idle};
+
+    ++_counters.stealAttempts;
+    const int victim = _dist.sample(core, c.rng);
+    const int hops = _machine.hops(socketOf(core), socketOf(victim));
+    double cost = _cfg.stealAttemptBase + _cfg.stealPerHop * hops;
+
+    Continuation got;
+
+    // BIASEDSTEALWITHPUSH: coin flip between deque and mailbox.
+    if (_cfg.useMailboxes && (!_cfg.coinFlip || c.rng.flip())) {
+        cost += _cfg.mailboxCheckCost;
+        if (_cores[victim].mailbox.has_value()) {
+            const Continuation cont = *_cores[victim].mailbox;
+            const Place p = _dag.frame(cont.frame).place;
+            if (!placeMismatch(core, p)) {
+                // Outcome 2: earmarked for us (or unconstrained): take it.
+                _cores[victim].mailbox.reset();
+                got = cont;
+            } else {
+                // Outcome 3: earmarked elsewhere: push it onward; if the
+                // threshold is exhausted we take it ourselves.
+                _cores[victim].mailbox.reset();
+                if (pushBack(core, cont, cost))
+                    return {cost, Charge::Sched};
+                got = cont;
+            }
+        }
+        // Outcome 1: mailbox empty -> fall through to the deque.
+    }
+
+    if (!got.valid()) {
+        CoreState &v = _cores[victim];
+        if (!v.deq.empty()) {
+            got = v.deq.front();
+            v.deq.pop_front();
+            // Promotion: the frame is now (again) a stolen full frame,
+            // and the victim keeps executing one outstanding child.
+            ++_counters.steals;
+            FrameState &fs = _frames[got.frame];
+            fs.stolen = true;
+            ++fs.joinCount;
+            cost += _cfg.promotionCost;
+            // Figure 5: a freshly stolen frame earmarked for a different
+            // socket is pushed toward its place.
+            if (placeMismatch(core, _dag.frame(got.frame).place)) {
+                if (pushBack(core, got, cost))
+                    return {cost, Charge::Sched};
+            }
+        }
+    } else {
+        ++_counters.mailboxSteals;
+    }
+
+    if (got.valid()) {
+        c.cur = got;
+        return {cost, Charge::Sched};
+    }
+    return {cost, Charge::Idle};
+}
+
+std::pair<double, Charge>
+Simulation::stepSchedulingLoop(int core)
+{
+    CoreState &c = _cores[core];
+
+    if (c.next == NextAction::CheckParent) {
+        // Figure 2 lines 20-22 / Figure 5 lines 18-24.
+        c.next = NextAction::Steal;
+        const FrameId parent = c.checkParent;
+        c.checkParent = kNoFrame;
+        FrameState &fs = _frames[parent];
+        NUMAWS_ASSERT(fs.suspended && fs.joinCount == 0);
+        fs.suspended = false;
+        fs.stolen = false; // the sync this frame was parked on is complete
+        ++_counters.resumes;
+        double cost = _cfg.resumeCost;
+        if (placeMismatch(core, _dag.frame(parent).place)) {
+            Continuation cont{parent, fs.resumeItem};
+            if (pushBack(core, cont, cost))
+                return {cost, Charge::Sched};
+        }
+        c.cur = Continuation{parent, fs.resumeItem};
+        return {cost, Charge::Sched};
+    }
+
+    // POPMAILBOX (Figure 5 line 26): something parked for this place?
+    if (c.mailbox.has_value()) {
+        c.cur = *c.mailbox;
+        c.mailbox.reset();
+        ++_counters.mailboxPops;
+        return {_cfg.mailboxCheckCost, Charge::Sched};
+    }
+
+    return stepStealAttempt(core);
+}
+
+std::pair<double, Charge>
+Simulation::step(int core)
+{
+    if (_cores[core].cur.valid())
+        return stepExecute(core);
+    return stepSchedulingLoop(core);
+}
+
+SimResult
+Simulation::run()
+{
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        heap;
+    uint64_t seq = 0;
+    for (int c = 0; c < _numCores; ++c)
+        heap.push(Event{0.0, seq++, c});
+
+    while (!_done) {
+        NUMAWS_ASSERT(!heap.empty());
+        const Event ev = heap.top();
+        heap.pop();
+        CoreState &c = _cores[ev.core];
+        c.clock = ev.time;
+        const auto [cost, charge] = step(ev.core);
+        NUMAWS_ASSERT(cost >= 0.0);
+        switch (charge) {
+          case Charge::Work:
+            c.workCycles += cost;
+            break;
+          case Charge::Sched:
+            c.schedCycles += cost;
+            break;
+          case Charge::Idle:
+            c.idleCycles += cost;
+            break;
+        }
+        c.clock += cost;
+        heap.push(Event{c.clock, seq++, ev.core});
+    }
+
+    SimResult r;
+    r.cores = _numCores;
+    r.ghz = _machine.ghz();
+    r.elapsedCycles = _doneTime;
+    r.elapsedSeconds = _machine.cyclesToSeconds(_doneTime);
+    for (int c = 0; c < _numCores; ++c) {
+        const CoreState &cs = _cores[c];
+        // Idle-fill the gap between a core's last event and the end of
+        // the computation.
+        const double fill = std::max(0.0, _doneTime - cs.clock);
+        r.workSeconds += _machine.cyclesToSeconds(cs.workCycles);
+        r.schedSeconds += _machine.cyclesToSeconds(cs.schedCycles);
+        r.idleSeconds += _machine.cyclesToSeconds(cs.idleCycles + fill);
+    }
+    r.counters = _counters;
+    r.memory = _mem_counters;
+    return r;
+}
+
+} // namespace
+
+SimResult
+simulate(const ComputationDag &dag, const Machine &machine, int cores,
+         const SimConfig &config, LatencyModel latency)
+{
+    Simulation sim(dag, machine, cores, config, latency);
+    return sim.run();
+}
+
+SimResult
+simulatePacked(const ComputationDag &dag, int cores,
+               const SimConfig &config, LatencyModel latency)
+{
+    const Machine machine = Machine::paperMachineSubset(cores);
+    return simulate(dag, machine, cores, config, latency);
+}
+
+} // namespace numaws::sim

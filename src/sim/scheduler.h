@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Discrete-event simulation of work stealing on a NUMA machine.
+ *
+ * The simulated scheduler implements the paper's pseudocode literally:
+ * Figure 2 (the Cilk Plus scheduler: spawn pushes the continuation, a
+ * returning child pops or detects a stolen parent, nontrivial syncs
+ * suspend, CHECK_PARENT resumes the suspended parent) and Figure 5 (the
+ * NUMA-WS additions: place checks with PUSHBACK at nontrivial sync, at
+ * CHECK_PARENT, and after successful steals; POPMAILBOX in the scheduling
+ * loop; BIASEDSTEALWITHPUSH with the mailbox-vs-deque coin flip). The
+ * classic and NUMA-WS schedulers are the same engine under different
+ * SimConfig knobs, so ablations toggle one mechanism at a time.
+ *
+ * Because this engine really steals *continuations* (a stolen frame's
+ * execution state is a (frame, item) pair), it reproduces the paper's
+ * protocol more faithfully than any library runtime can; every evaluation
+ * figure is produced here.
+ */
+#ifndef NUMAWS_SIM_SCHEDULER_H
+#define NUMAWS_SIM_SCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/dag.h"
+#include "sim/memory.h"
+#include "sim/metrics.h"
+#include "support/rng.h"
+#include "topology/machine.h"
+#include "topology/steal_distribution.h"
+
+namespace numaws::sim {
+
+/** Scheduler policy + cost knobs for one simulated run. */
+struct SimConfig
+{
+    /** Locality-biased victim selection (false == uniform, classic WS). */
+    bool biasedSteals = true;
+    BiasWeights biasWeights{};
+    /** Mailboxes + lazy work pushing (false == classic WS). */
+    bool useMailboxes = true;
+    /**
+     * Flip a coin between deque and mailbox on each steal (Section IV
+     * requires it); false = always inspect the mailbox first (ablation).
+     */
+    bool coinFlip = true;
+    /** Constant pushing threshold. */
+    int pushThreshold = 4;
+
+    /** @name Event costs in cycles */
+    /// @{
+    double spawnCost = 8.0;          ///< work path: push continuation
+    double syncTrivialCost = 2.0;    ///< work path: shadow-frame sync
+    double returnCost = 4.0;         ///< work path: pop on child return
+    double stealAttemptBase = 120.0; ///< probe a victim (idle if failed)
+    double stealPerHop = 60.0;       ///< extra probe cost per QPI hop
+    double promotionCost = 250.0;    ///< successful steal bookkeeping
+    double syncNontrivialCost = 120.0;
+    double resumeCost = 100.0;       ///< resume a suspended full frame
+    double mailboxCheckCost = 40.0;  ///< POPMAILBOX / mailbox inspection
+    double pushAttemptCost = 140.0;  ///< one PUSHBACK attempt
+    /// @}
+
+    /** Zero all runtime overheads: the serial elision (TS). */
+    bool serialElision = false;
+
+    uint64_t seed = 0x5eed;
+
+    /** Classic work stealing as implemented by Cilk Plus (Figure 2). */
+    static SimConfig
+    classicWs()
+    {
+        SimConfig c;
+        c.biasedSteals = false;
+        c.useMailboxes = false;
+        return c;
+    }
+
+    /** The full NUMA-WS scheduler (Figure 5). */
+    static SimConfig
+    numaWs()
+    {
+        return SimConfig{};
+    }
+
+    /** Serial elision: classic engine with zero parallel overhead. */
+    static SimConfig
+    serial()
+    {
+        SimConfig c = classicWs();
+        c.serialElision = true;
+        c.spawnCost = 0.0;
+        c.syncTrivialCost = 0.0;
+        c.returnCost = 0.0;
+        return c;
+    }
+};
+
+/**
+ * Run @p dag on @p cores simulated cores of @p machine under @p config.
+ *
+ * Cores are spread evenly across the machine's sockets (socket-major,
+ * matching the runtime's startup policy and Figure 9's packed sockets).
+ */
+SimResult simulate(const ComputationDag &dag, const Machine &machine,
+                   int cores, const SimConfig &config,
+                   LatencyModel latency = {});
+
+/**
+ * Convenience: simulate on the paper machine subset that packs @p cores
+ * tightly onto the fewest sockets (Figure 9's methodology).
+ */
+SimResult simulatePacked(const ComputationDag &dag, int cores,
+                         const SimConfig &config, LatencyModel latency = {});
+
+} // namespace numaws::sim
+
+#endif // NUMAWS_SIM_SCHEDULER_H

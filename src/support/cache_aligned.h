@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cache-line alignment helpers.
+ *
+ * Per-worker scheduler state (deque indices, counters, mailboxes) is padded
+ * to cache-line boundaries so that thieves probing one worker's state never
+ * false-share with another worker's hot fields.
+ */
+#ifndef NUMAWS_SUPPORT_CACHE_ALIGNED_H
+#define NUMAWS_SUPPORT_CACHE_ALIGNED_H
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace numaws {
+
+/** Size every hot structure is padded to. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/**
+ * Wrapper placing T alone on its own cache line(s).
+ */
+template <typename T>
+struct alignas(kCacheLineBytes) CachePadded
+{
+    T value;
+
+    template <typename... Args>
+    explicit CachePadded(Args &&...args)
+        : value(std::forward<Args>(args)...)
+    {}
+
+    T *operator->() { return &value; }
+    const T *operator->() const { return &value; }
+    T &operator*() { return value; }
+    const T &operator*() const { return value; }
+
+  private:
+    // Round sizeof(T) up to a multiple of the line size.
+    static constexpr std::size_t paddedSize =
+        ((sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes)
+        * kCacheLineBytes;
+    char _pad[paddedSize - sizeof(T) == 0 ? kCacheLineBytes
+                                          : paddedSize - sizeof(T)] = {};
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_SUPPORT_CACHE_ALIGNED_H

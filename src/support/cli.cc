@@ -1,0 +1,106 @@
+#include "support/cli.h"
+
+#include <cstdlib>
+
+#include "support/panic.h"
+
+namespace numaws {
+
+Cli::Cli(int argc, const char *const *argv)
+{
+    _program = argc > 0 ? argv[0] : "unknown";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            NUMAWS_FATAL("unrecognized argument '%s' (expected --key=value)",
+                         arg.c_str());
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos)
+            _values[arg] = "true"; // bare flag
+        else
+            _values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+}
+
+bool
+Cli::has(const std::string &key) const
+{
+    return _values.count(key) != 0;
+}
+
+std::string
+Cli::getString(const std::string &key, const std::string &def) const
+{
+    const auto it = _values.find(key);
+    return it == _values.end() ? def : it->second;
+}
+
+int64_t
+Cli::getInt(const std::string &key, int64_t def) const
+{
+    const auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    char *end = nullptr;
+    const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        NUMAWS_FATAL("--%s expects an integer, got '%s'", key.c_str(),
+                     it->second.c_str());
+    return v;
+}
+
+double
+Cli::getDouble(const std::string &key, double def) const
+{
+    const auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        NUMAWS_FATAL("--%s expects a number, got '%s'", key.c_str(),
+                     it->second.c_str());
+    return v;
+}
+
+bool
+Cli::getBool(const std::string &key, bool def) const
+{
+    const auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    NUMAWS_FATAL("--%s expects a boolean, got '%s'", key.c_str(), v.c_str());
+}
+
+std::vector<int64_t>
+Cli::getIntList(const std::string &key, std::vector<int64_t> def) const
+{
+    const auto it = _values.find(key);
+    if (it == _values.end())
+        return def;
+    std::vector<int64_t> out;
+    const std::string &s = it->second;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        const std::string tok = s.substr(pos, comma - pos);
+        char *end = nullptr;
+        const int64_t v = std::strtoll(tok.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || tok.empty())
+            NUMAWS_FATAL("--%s expects comma-separated integers, got '%s'",
+                         key.c_str(), s.c_str());
+        out.push_back(v);
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace numaws

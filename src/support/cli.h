@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal command-line parser for the benchmark and example binaries.
+ *
+ * Accepts "--key=value" and "--flag" arguments; anything unrecognized is a
+ * fatal user error so that typos in sweep scripts do not silently run the
+ * wrong experiment.
+ */
+#ifndef NUMAWS_SUPPORT_CLI_H
+#define NUMAWS_SUPPORT_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace numaws {
+
+/** Parsed view over argv with typed accessors and defaults. */
+class Cli
+{
+  public:
+    Cli(int argc, const char *const *argv);
+
+    bool has(const std::string &key) const;
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    int64_t getInt(const std::string &key, int64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /**
+     * Comma-separated integer list, e.g. "--cores=1,2,4,8".
+     */
+    std::vector<int64_t> getIntList(const std::string &key,
+                                    std::vector<int64_t> def) const;
+
+    const std::string &programName() const { return _program; }
+
+  private:
+    std::string _program;
+    std::map<std::string, std::string> _values;
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_SUPPORT_CLI_H

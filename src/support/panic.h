@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error-reporting primitives, following the gem5 panic/fatal distinction:
+ * panic() for internal invariant violations (bugs in NUMA-WS itself),
+ * fatal() for user errors (bad configuration, invalid arguments).
+ */
+#ifndef NUMAWS_SUPPORT_PANIC_H
+#define NUMAWS_SUPPORT_PANIC_H
+
+#include <cstdarg>
+#include <string>
+
+namespace numaws {
+
+/** Print a formatted message and abort(); use for internal bugs. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a warning to stderr without stopping execution. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace numaws
+
+#define NUMAWS_PANIC(...) \
+    ::numaws::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define NUMAWS_FATAL(...) \
+    ::numaws::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/**
+ * Always-on invariant check (not compiled out in release builds); the
+ * runtime and simulator rely on these to catch protocol violations.
+ */
+#define NUMAWS_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (__builtin_expect(!(cond), 0)) {                               \
+            ::numaws::panicImpl(__FILE__, __LINE__,                       \
+                                "assertion failed: %s", #cond);           \
+        }                                                                 \
+    } while (0)
+
+#endif // NUMAWS_SUPPORT_PANIC_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fast pseudo-random number generation for scheduler decisions.
+ *
+ * Work stealing makes one random choice per steal attempt, on the hot idle
+ * path; std::mt19937 is unnecessarily heavy there. We use xoshiro256**
+ * seeded via splitmix64, the standard modern replacement. Every consumer
+ * (worker threads, the simulator, tests) owns its private Rng instance so
+ * runs are reproducible from a single root seed.
+ */
+#ifndef NUMAWS_SUPPORT_RNG_H
+#define NUMAWS_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace numaws {
+
+/** splitmix64 step, used for seeding and cheap hashing. */
+constexpr uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** xoshiro256** generator; not cryptographic, excellent for simulation. */
+class Rng
+{
+  public:
+    explicit constexpr Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : _state)
+            word = splitmix64(sm);
+    }
+
+    constexpr uint64_t
+    next()
+    {
+        const uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    constexpr uint64_t
+    nextBounded(uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<uint64_t>(m);
+        if (lo < bound) {
+            const uint64_t threshold = (0ULL - bound) % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<uint64_t>(m);
+            }
+        }
+        return static_cast<uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    constexpr double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Fair coin flip; the NUMA-WS steal protocol calls this per steal. */
+    constexpr bool flip() { return (next() & 1ULL) != 0; }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t _state[4] = {};
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_SUPPORT_RNG_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Test-and-test-and-set spin lock used by the THE-protocol deque.
+ *
+ * The deque lock is held for a handful of instructions (index compare and
+ * pointer swap), and contention is rare by construction — the work-first
+ * principle pushes synchronization onto thieves, and thieves serialize on
+ * this lock while the busy owner takes it only on the one-element conflict.
+ * A full std::mutex (futex syscalls) would be overkill on that path.
+ */
+#ifndef NUMAWS_SUPPORT_SPIN_LOCK_H
+#define NUMAWS_SUPPORT_SPIN_LOCK_H
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace numaws {
+
+/** Pause hint for spin-wait loops. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/** TTAS spin lock satisfying the Lockable named requirement. */
+class SpinLock
+{
+  public:
+    SpinLock() = default;
+    SpinLock(const SpinLock &) = delete;
+    SpinLock &operator=(const SpinLock &) = delete;
+
+    void
+    lock()
+    {
+        for (;;) {
+            if (!_locked.exchange(true, std::memory_order_acquire))
+                return;
+            while (_locked.load(std::memory_order_relaxed))
+                cpuRelax();
+        }
+    }
+
+    bool
+    try_lock()
+    {
+        return !_locked.load(std::memory_order_relaxed)
+               && !_locked.exchange(true, std::memory_order_acquire);
+    }
+
+    void
+    unlock()
+    {
+        _locked.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> _locked{false};
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_SUPPORT_SPIN_LOCK_H

@@ -1,0 +1,67 @@
+#include "support/stats.h"
+
+#include <cmath>
+
+namespace numaws {
+
+void
+RunningStat::add(double x)
+{
+    ++_n;
+    if (_n == 1) {
+        _mean = x;
+        _min = x;
+        _max = x;
+        _m2 = 0.0;
+        return;
+    }
+    const double delta = x - _mean;
+    _mean += delta / static_cast<double>(_n);
+    _m2 += delta * (x - _mean);
+    if (x < _min)
+        _min = x;
+    if (x > _max)
+        _max = x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (_n < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::relStddev() const
+{
+    if (_mean == 0.0)
+        return 0.0;
+    return stddev() / _mean;
+}
+
+int64_t
+CategoryCounter::total() const
+{
+    int64_t sum = 0;
+    for (int64_t c : _counts)
+        sum += c;
+    return sum;
+}
+
+double
+CategoryCounter::fraction(std::size_t category) const
+{
+    const int64_t t = total();
+    if (t == 0 || category >= _counts.size())
+        return 0.0;
+    return static_cast<double>(_counts[category]) / static_cast<double>(t);
+}
+
+} // namespace numaws

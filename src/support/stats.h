@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Statistics accumulators used by benchmarks (mean / stddev over repeated
+ * runs, as the paper averages 10 runs) and by tests that check the realized
+ * steal-probability distributions.
+ */
+#ifndef NUMAWS_SUPPORT_STATS_H
+#define NUMAWS_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace numaws {
+
+/** Welford one-pass mean/variance accumulator. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    int64_t count() const { return _n; }
+    double mean() const { return _mean; }
+    /** Sample variance (n-1 denominator); 0 for fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return _min; }
+    double max() const { return _max; }
+    /** Relative standard deviation (stddev / mean); 0 if mean is 0. */
+    double relStddev() const;
+
+  private:
+    int64_t _n = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over integer categories (e.g., victim socket
+ * chosen per steal attempt).
+ */
+class CategoryCounter
+{
+  public:
+    explicit CategoryCounter(std::size_t categories)
+        : _counts(categories, 0)
+    {}
+
+    void
+    add(std::size_t category)
+    {
+        if (category < _counts.size())
+            ++_counts[category];
+    }
+
+    int64_t count(std::size_t category) const { return _counts[category]; }
+    int64_t total() const;
+    /** Fraction of all samples landing in @p category. */
+    double fraction(std::size_t category) const;
+    std::size_t size() const { return _counts.size(); }
+
+  private:
+    std::vector<int64_t> _counts;
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_SUPPORT_STATS_H

@@ -1,0 +1,105 @@
+#include "support/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/panic.h"
+
+namespace numaws {
+
+Table::Table(std::vector<std::string> header)
+    : _header(std::move(header))
+{
+    NUMAWS_ASSERT(!_header.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    NUMAWS_ASSERT(row.size() == _header.size());
+    _rows.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    _rows.emplace_back(); // empty vector encodes a separator
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(_header.size());
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+    }
+
+    std::ostringstream out;
+    auto emitSep = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            out << '+' << std::string(widths[c] + 2, '-');
+        }
+        out << "+\n";
+    };
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            out << "| " << cell
+                << std::string(widths[c] - cell.size() + 1, ' ');
+        }
+        out << "|\n";
+    };
+
+    emitSep();
+    emitRow(_header);
+    emitSep();
+    for (const auto &row : _rows) {
+        if (row.empty())
+            emitSep();
+        else
+            emitRow(row);
+    }
+    emitSep();
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    const std::string s = str();
+    std::fwrite(s.data(), 1, s.size(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+Table::fmtSeconds(double s)
+{
+    char buf[64];
+    if (s >= 100.0)
+        std::snprintf(buf, sizeof(buf), "%.1f", s);
+    else if (s >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f", s);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f", s);
+    return buf;
+}
+
+std::string
+Table::fmtRatio(double r)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2fx", r);
+    return buf;
+}
+
+std::string
+Table::fmtSecondsWithRatio(double s, double ratio)
+{
+    return fmtSeconds(s) + " (" + fmtRatio(ratio) + ")";
+}
+
+} // namespace numaws

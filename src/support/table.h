@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit rows in
+ * the same layout as the paper's Figures 7 and 8 (which are tables).
+ */
+#ifndef NUMAWS_SUPPORT_TABLE_H
+#define NUMAWS_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace numaws {
+
+/**
+ * Column-aligned table with a header row, printed to stdout.
+ *
+ * Usage:
+ * @code
+ *   Table t({"benchmark", "TS", "T1", "T32"});
+ *   t.addRow({"cilksort", "20.38", "20.47 (1.00x)", "0.96 (21.28x)"});
+ *   t.print();
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> row);
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+    void print() const;
+    /** Render to a string (used by tests). */
+    std::string str() const;
+
+    /** Format helpers used throughout bench binaries. */
+    static std::string fmtSeconds(double s);
+    static std::string fmtRatio(double r);
+    /** "12.34 (1.07x)" style cell. */
+    static std::string fmtSecondsWithRatio(double s, double ratio);
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows; // empty row == separator
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_SUPPORT_TABLE_H

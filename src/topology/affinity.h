@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Thread-to-core pinning (Section III-A fixes worker-thread-to-core
+ * affinity at startup).
+ *
+ * On a real NUMA box this maps virtual places to physical sockets; inside
+ * a container the pinning is best-effort and the virtual places remain
+ * meaningful to the scheduler even when the physical mapping is flat.
+ */
+#ifndef NUMAWS_TOPOLOGY_AFFINITY_H
+#define NUMAWS_TOPOLOGY_AFFINITY_H
+
+namespace numaws {
+
+/** Number of logical CPUs visible to this process. */
+int hostCpuCount();
+
+/**
+ * Pin the calling thread to host CPU @p cpu (mod the host CPU count).
+ * @return true if the affinity call succeeded.
+ */
+bool pinCurrentThread(int cpu);
+
+} // namespace numaws
+
+#endif // NUMAWS_TOPOLOGY_AFFINITY_H

@@ -1,0 +1,118 @@
+#include "topology/machine.h"
+
+#include <sstream>
+
+#include "support/panic.h"
+
+namespace numaws {
+
+Machine::Machine(int sockets, int cores_per_socket,
+                 std::vector<int> distances, double ghz, uint64_t llc_bytes)
+    : _numSockets(sockets),
+      _coresPerSocket(cores_per_socket),
+      _distances(std::move(distances)),
+      _ghz(ghz),
+      _llcBytes(llc_bytes)
+{
+    NUMAWS_ASSERT(sockets > 0 && cores_per_socket > 0);
+    NUMAWS_ASSERT(_distances.size()
+                  == static_cast<std::size_t>(sockets) * sockets);
+    for (int i = 0; i < sockets; ++i) {
+        NUMAWS_ASSERT(distance(i, i) == 10);
+        for (int j = 0; j < sockets; ++j) {
+            NUMAWS_ASSERT(distance(i, j) >= 10);
+            NUMAWS_ASSERT(distance(i, j) == distance(j, i));
+        }
+    }
+}
+
+Machine
+Machine::paperMachine()
+{
+    // QPI square of Figure 1: 0-1, 0-2, 1-3, 2-3 adjacent; diagonals two
+    // hops. SLIT convention: 10 local, 20 one hop, 30 two hops.
+    const std::vector<int> slit = {
+        10, 20, 20, 30, //
+        20, 10, 30, 20, //
+        20, 30, 10, 20, //
+        30, 20, 20, 10, //
+    };
+    return Machine(4, 8, slit, 2.2, 16ULL << 20);
+}
+
+Machine
+Machine::singleSocket(int cores)
+{
+    return Machine(1, cores, {10}, 2.2, 16ULL << 20);
+}
+
+Machine
+Machine::paperMachineSubset(int cores_in_use)
+{
+    NUMAWS_ASSERT(cores_in_use >= 1 && cores_in_use <= 32);
+    const int sockets = (cores_in_use + 7) / 8;
+    if (sockets == 1)
+        return singleSocket(8);
+    if (sockets == 2) {
+        // Two adjacent sockets of the QPI square.
+        const std::vector<int> slit = {
+            10, 20, //
+            20, 10, //
+        };
+        return Machine(2, 8, slit, 2.2, 16ULL << 20);
+    }
+    if (sockets == 3) {
+        // Sockets {0, 1, 2}: 1 and 2 are the two-hop diagonal.
+        const std::vector<int> slit = {
+            10, 20, 20, //
+            20, 10, 30, //
+            20, 30, 10, //
+        };
+        return Machine(3, 8, slit, 2.2, 16ULL << 20);
+    }
+    return paperMachine();
+}
+
+int
+Machine::distance(int from_socket, int to_socket) const
+{
+    NUMAWS_ASSERT(from_socket >= 0 && from_socket < _numSockets);
+    NUMAWS_ASSERT(to_socket >= 0 && to_socket < _numSockets);
+    return _distances[static_cast<std::size_t>(from_socket) * _numSockets
+                      + to_socket];
+}
+
+int
+Machine::hops(int from_socket, int to_socket) const
+{
+    // SLIT 10 -> 0 hops, 20 -> 1 hop, 30 -> 2 hops.
+    return (distance(from_socket, to_socket) - 10) / 10;
+}
+
+int
+Machine::maxHops() const
+{
+    int h = 0;
+    for (int i = 0; i < _numSockets; ++i)
+        for (int j = 0; j < _numSockets; ++j)
+            h = std::max(h, hops(i, j));
+    return h;
+}
+
+std::string
+Machine::describe() const
+{
+    std::ostringstream out;
+    out << _numSockets << "-socket x " << _coresPerSocket << "-core machine @ "
+        << _ghz << " GHz, " << (_llcBytes >> 20) << " MB LLC per socket\n";
+    out << "SLIT distance matrix:\n";
+    for (int i = 0; i < _numSockets; ++i) {
+        out << "  socket " << i << ":";
+        for (int j = 0; j < _numSockets; ++j)
+            out << ' ' << distance(i, j);
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace numaws

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * NUMA machine description: sockets, cores per socket, and the inter-socket
+ * distance matrix (as `numactl --hardware` reports it).
+ *
+ * This is the substrate both engines consume: the threaded runtime uses it
+ * to group workers into virtual places and bias steals; the discrete-event
+ * simulator uses it to model the paper's evaluation machine (a four-socket,
+ * 32-core Intel Xeon E5-4620 with the QPI square of Figure 1).
+ */
+#ifndef NUMAWS_TOPOLOGY_MACHINE_H
+#define NUMAWS_TOPOLOGY_MACHINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/place.h"
+
+namespace numaws {
+
+/**
+ * Immutable machine topology.
+ *
+ * Distances follow the numactl/ACPI SLIT convention: 10 for the local
+ * socket, and >10 for remote sockets scaled by hop count (20 for one hop,
+ * 30 for two hops on the paper's machine).
+ */
+class Machine
+{
+  public:
+    /**
+     * @param cores_per_socket cores on each socket (uniform).
+     * @param distances row-major numSockets x numSockets SLIT matrix.
+     * @param ghz nominal core frequency used to convert cycles to seconds.
+     * @param llc_bytes per-socket shared last-level cache capacity.
+     */
+    Machine(int sockets, int cores_per_socket,
+            std::vector<int> distances, double ghz, uint64_t llc_bytes);
+
+    /**
+     * The paper's evaluation machine (Figure 1 / Section V): four sockets,
+     * eight cores each, 2.2 GHz, 16 MB LLC per socket, QPI square where
+     * sockets 0-1, 0-2, 1-3, 2-3 are adjacent and 0-3, 1-2 are two hops.
+     */
+    static Machine paperMachine();
+
+    /** A single-socket machine (for baselines and host-like tests). */
+    static Machine singleSocket(int cores);
+
+    /**
+     * A machine with the paper's socket fabric but an arbitrary number of
+     * sockets in {1, 2, 4} and cores per socket, used for packed-socket
+     * scalability sweeps (Figure 9 packs P cores onto ceil(P/8) sockets).
+     */
+    static Machine paperMachineSubset(int cores_in_use);
+
+    int numSockets() const { return _numSockets; }
+    int coresPerSocket() const { return _coresPerSocket; }
+    int numCores() const { return _numSockets * _coresPerSocket; }
+    double ghz() const { return _ghz; }
+    uint64_t llcBytes() const { return _llcBytes; }
+
+    /** SLIT distance between two sockets (10 == local). */
+    int distance(int from_socket, int to_socket) const;
+
+    /** Hop count derived from the SLIT entry (0 local, 1, 2, ...). */
+    int hops(int from_socket, int to_socket) const;
+
+    /** Largest hop count anywhere in the matrix. */
+    int maxHops() const;
+
+    /** Socket that owns a core (cores are packed socket-major). */
+    int
+    socketOfCore(int core) const
+    {
+        return core / _coresPerSocket;
+    }
+
+    /** Cores [begin, end) belonging to @p socket. */
+    std::pair<int, int>
+    coreRangeOfSocket(int socket) const
+    {
+        return {socket * _coresPerSocket, (socket + 1) * _coresPerSocket};
+    }
+
+    /** Seconds represented by @p cycles at this machine's frequency. */
+    double
+    cyclesToSeconds(double cycles) const
+    {
+        return cycles / (_ghz * 1e9);
+    }
+
+    /** Human-readable topology dump (used by example binaries). */
+    std::string describe() const;
+
+  private:
+    int _numSockets;
+    int _coresPerSocket;
+    std::vector<int> _distances;
+    double _ghz;
+    uint64_t _llcBytes;
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_TOPOLOGY_MACHINE_H

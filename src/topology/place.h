@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Virtual places: the paper's basic unit of locality (Section III-A).
+ *
+ * At startup the runtime spreads worker threads evenly across the sockets
+ * in use and groups the workers on one socket into a single virtual place.
+ * Locality hints name these places; kAnyPlace ("@ANY" in the paper's
+ * Figure 4) unsets the hint.
+ */
+#ifndef NUMAWS_TOPOLOGY_PLACE_H
+#define NUMAWS_TOPOLOGY_PLACE_H
+
+#include <cstdint>
+
+namespace numaws {
+
+/** Identifier of a virtual place (== socket index while running). */
+using Place = int32_t;
+
+/** "No place constraint": the scheduler is free to run the task anywhere
+ * (the paper's @ANY, which also unsets an inherited hint). */
+inline constexpr Place kAnyPlace = -1;
+
+/** Default for spawns: adopt the spawning frame's locality hint (the
+ * paper's inheritance rule, Section III-A). */
+inline constexpr Place kInheritPlace = -2;
+
+/** True if @p p names a concrete place (not kAnyPlace). */
+constexpr bool
+isConcretePlace(Place p)
+{
+    return p >= 0;
+}
+
+} // namespace numaws
+
+#endif // NUMAWS_TOPOLOGY_PLACE_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Locality-biased victim selection (Section III-B).
+ *
+ * Classic work stealing picks a victim uniformly at random. NUMA-WS biases
+ * the distribution by socket distance: victims on the thief's socket are
+ * preferred, then one-hop sockets, then two-hop sockets. The bias must keep
+ * every victim's probability at least 1/(cP) for a constant c — that lower
+ * bound is what preserves the O(P * Tinf) steal bound of Section IV — so
+ * weights are strictly positive by construction and validated here.
+ */
+#ifndef NUMAWS_TOPOLOGY_STEAL_DISTRIBUTION_H
+#define NUMAWS_TOPOLOGY_STEAL_DISTRIBUTION_H
+
+#include <vector>
+
+#include "support/rng.h"
+#include "topology/machine.h"
+
+namespace numaws {
+
+/** Per-hop-count steal weights; index 0 is the local socket. */
+struct BiasWeights
+{
+    /** Default matches the paper's "highest / medium / lowest" intent. */
+    double perHop[3] = {8.0, 2.0, 1.0};
+
+    /** Uniform weights recover the classic scheduler's distribution. */
+    static BiasWeights
+    uniform()
+    {
+        return BiasWeights{{1.0, 1.0, 1.0}};
+    }
+};
+
+/**
+ * Precomputed per-thief victim distribution over all workers of a machine.
+ *
+ * One instance is built per (machine, worker count, weights) configuration;
+ * sampling is a binary search over a cumulative table, O(log P) with no
+ * allocation, cheap enough for the steal path.
+ */
+class StealDistribution
+{
+  public:
+    /**
+     * @param workers total number of workers, packed socket-major
+     *        (worker w lives on socket w / coresPerSocket').
+     * Workers are spread evenly across the machine's sockets: worker w is
+     * on socket w * numSockets / workers when workers < cores, matching
+     * the runtime's even-spread startup policy.
+     */
+    StealDistribution(const Machine &machine, int workers,
+                      const BiasWeights &weights);
+
+    /** Socket a worker belongs to under the even-spread policy. */
+    int socketOfWorker(int worker) const { return _workerSocket[worker]; }
+
+    /**
+     * Sample a victim for @p thief; never returns the thief itself.
+     */
+    int sample(int thief, Rng &rng) const;
+
+    /** Probability that @p thief targets @p victim on one attempt. */
+    double probability(int thief, int victim) const;
+
+    /** Smallest nonzero victim probability across all pairs. */
+    double minProbability() const;
+
+    int numWorkers() const { return _numWorkers; }
+
+  private:
+    int _numWorkers;
+    std::vector<int> _workerSocket;
+    // Row-major [thief][victim] cumulative probabilities.
+    std::vector<double> _cumulative;
+    std::vector<double> _probability;
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_TOPOLOGY_STEAL_DISTRIBUTION_H

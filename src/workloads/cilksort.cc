@@ -1,0 +1,238 @@
+/**
+ * @file
+ * cilksort: 4-way parallel mergesort with parallel merge, the paper's
+ * Figure 4 program. The top-level recursion carries locality hints
+ * (quarter i sorted at place i, merges at the places their inputs came
+ * from, final merge unconstrained).
+ */
+#include <algorithm>
+
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace numaws::workloads {
+
+namespace {
+
+void
+mergeSeq(const int64_t *a, int64_t na, const int64_t *b, int64_t nb,
+         int64_t *out)
+{
+    std::merge(a, a + na, b, b + nb, out);
+}
+
+/** Parallel merge: split the larger input at its midpoint, binary-search
+ * the other, recurse on the halves. */
+void
+mergePar(const int64_t *a, int64_t na, const int64_t *b, int64_t nb,
+         int64_t *out, int64_t merge_base)
+{
+    if (na < nb) {
+        mergePar(b, nb, a, na, out, merge_base);
+        return;
+    }
+    if (na + nb <= merge_base || nb == 0) {
+        mergeSeq(a, na, b, nb, out);
+        return;
+    }
+    const int64_t ma = na / 2;
+    const int64_t mb = std::lower_bound(b, b + nb, a[ma]) - b;
+    TaskGroup tg;
+    tg.spawn([=] { mergePar(a, ma, b, mb, out, merge_base); });
+    mergePar(a + ma, na - ma, b + mb, nb - mb, out + ma + mb, merge_base);
+    tg.sync();
+}
+
+/** 4-way mergesort of data[0, n) in place, using tmp as scratch. */
+void
+sortSerialRec(int64_t *data, int64_t n, int64_t *tmp,
+              const CilksortParams &p)
+{
+    if (n <= p.sortBase) {
+        std::sort(data, data + n);
+        return;
+    }
+    const int64_t q = n / 4;
+    const int64_t sizes[4] = {q, q, q, n - 3 * q};
+    int64_t off[4] = {0, q, 2 * q, 3 * q};
+    for (int i = 0; i < 4; ++i)
+        sortSerialRec(data + off[i], sizes[i], tmp + off[i], p);
+    mergeSeq(data, sizes[0], data + off[1], sizes[1], tmp);
+    mergeSeq(data + off[2], sizes[2], data + off[3], sizes[3],
+             tmp + off[2]);
+    mergeSeq(tmp, off[2], tmp + off[2], n - off[2], data);
+}
+
+void
+sortParRec(int64_t *data, int64_t n, int64_t *tmp, const CilksortParams &p,
+           bool hints, bool top)
+{
+    if (n <= p.sortBase) {
+        std::sort(data, data + n);
+        return;
+    }
+    const int64_t q = n / 4;
+    const int64_t sizes[4] = {q, q, q, n - 3 * q};
+    const int64_t off[4] = {0, q, 2 * q, 3 * q};
+    const int places = numPlaces();
+
+    // MERGESORTTOP (Figure 4): quarter i sorted at place i. Only the top
+    // level names places; deeper levels inherit.
+    {
+        TaskGroup tg;
+        for (int i = 0; i < 3; ++i) {
+            const Place pl =
+                top ? chunkPlace(hints, i, 4, places) : kInheritPlace;
+            tg.spawn(
+                [=] { sortParRec(data + off[i], sizes[i], tmp + off[i], p,
+                                 hints, false); },
+                pl);
+        }
+        const Place pl3 =
+            top ? chunkPlace(hints, 3, 4, places) : kInheritPlace;
+        if (top && isConcretePlace(pl3)) {
+            tg.spawn(
+                [=] { sortParRec(data + off[3], sizes[3], tmp + off[3], p,
+                                 hints, false); },
+                pl3);
+        } else {
+            sortParRec(data + off[3], sizes[3], tmp + off[3], p, hints,
+                       false);
+        }
+        tg.sync();
+    }
+    {
+        TaskGroup tg;
+        tg.spawn(
+            [=] { mergePar(data, sizes[0], data + off[1], sizes[1], tmp,
+                           p.mergeBase); },
+            top ? chunkPlace(hints, 0, 4, places) : kInheritPlace);
+        mergePar(data + off[2], sizes[2], data + off[3], sizes[3],
+                 tmp + off[2], p.mergeBase);
+        tg.sync();
+    }
+    // Final merge: @ANY (no place constraint).
+    mergePar(tmp, off[2], tmp + off[2], n - off[2], data, p.mergeBase);
+}
+
+// ------------------------------------------------------------------
+// Dag generator
+// ------------------------------------------------------------------
+
+struct CilksortDagCtx
+{
+    sim::DagBuilder b;
+    sim::RegionId in = 0;
+    sim::RegionId tmp = 0;
+    const CilksortParams *p = nullptr;
+};
+
+double
+qsortCycles(int64_t n)
+{
+    return kQsortCyclesPerElemPerLog * static_cast<double>(n)
+           * log2At(static_cast<double>(n));
+}
+
+/** Merge [aOff, +na) and [bOff, +nb) of @p src into @p dstOff of dst. */
+void
+mergeDagRec(CilksortDagCtx &c, sim::RegionId src, sim::RegionId dst,
+            int64_t a_off, int64_t na, int64_t b_off, int64_t nb,
+            int64_t dst_off)
+{
+    if (na + nb <= c.p->mergeBase || na == 0 || nb == 0) {
+        c.b.strand(kMergeCyclesPerElem * static_cast<double>(na + nb),
+                   {{src, static_cast<uint64_t>(a_off) * 8,
+                     static_cast<uint64_t>(na) * 8},
+                    {src, static_cast<uint64_t>(b_off) * 8,
+                     static_cast<uint64_t>(nb) * 8},
+                    {dst, static_cast<uint64_t>(dst_off) * 8,
+                     static_cast<uint64_t>(na + nb) * 8}});
+        return;
+    }
+    // Balanced split (random data makes the binary-search split ~even).
+    const int64_t ma = na / 2;
+    const int64_t mb = nb / 2;
+    c.b.spawn(); // inherit the merge's place
+    mergeDagRec(c, src, dst, a_off, ma, b_off, mb, dst_off);
+    c.b.end();
+    c.b.spawn(); // called branch: own frame, own sync scope
+    mergeDagRec(c, src, dst, a_off + ma, na - ma, b_off + mb, nb - mb,
+                dst_off + ma + mb);
+    c.b.end();
+    c.b.sync();
+}
+
+void
+sortDagRec(CilksortDagCtx &c, int64_t off, int64_t n, bool hints,
+           int places, bool top)
+{
+    if (n <= c.p->sortBase) {
+        c.b.strand(qsortCycles(n),
+                   {{c.in, static_cast<uint64_t>(off) * 8,
+                     static_cast<uint64_t>(n) * 8}});
+        return;
+    }
+    const int64_t q = n / 4;
+    const int64_t sizes[4] = {q, q, q, n - 3 * q};
+    const int64_t sub_off[4] = {0, q, 2 * q, 3 * q};
+
+    for (int i = 0; i < 4; ++i) {
+        const Place pl =
+            top ? chunkPlace(hints, i, 4, places) : kInheritPlace;
+        c.b.spawn(pl);
+        sortDagRec(c, off + sub_off[i], sizes[i], hints, places, false);
+        c.b.end();
+    }
+    c.b.sync();
+
+    c.b.spawn(top ? chunkPlace(hints, 0, 4, places) : kInheritPlace);
+    mergeDagRec(c, c.in, c.tmp, off, sizes[0], off + sub_off[1], sizes[1],
+                off);
+    c.b.end();
+    c.b.spawn(top ? chunkPlace(hints, 2, 4, places) : kInheritPlace);
+    mergeDagRec(c, c.in, c.tmp, off + sub_off[2], sizes[2],
+                off + sub_off[3], sizes[3], off + sub_off[2]);
+    c.b.end();
+    c.b.sync();
+
+    // Final merge @ANY.
+    c.b.spawn(kAnyPlace);
+    mergeDagRec(c, c.tmp, c.in, off, sub_off[2], off + sub_off[2],
+                n - sub_off[2], off);
+    c.b.end();
+    c.b.sync();
+}
+
+} // namespace
+
+void
+cilksortSerial(int64_t *data, int64_t n, int64_t *tmp,
+               const CilksortParams &p)
+{
+    sortSerialRec(data, n, tmp, p);
+}
+
+void
+cilksortParallel(Runtime &rt, int64_t *data, int64_t n, int64_t *tmp,
+                 const CilksortParams &p, bool hints)
+{
+    rt.run([&] { sortParRec(data, n, tmp, p, hints, true); });
+}
+
+sim::ComputationDag
+cilksortDag(const CilksortParams &p, int places, Placement placement,
+            bool hints)
+{
+    CilksortDagCtx c;
+    c.p = &p;
+    const uint64_t bytes = static_cast<uint64_t>(p.n) * 8;
+    c.in = c.b.region("in", bytes, regionPolicy(placement));
+    c.tmp = c.b.region("tmp", bytes, regionPolicy(placement));
+    c.b.beginRoot();
+    sortDagRec(c, 0, p.n, hints, places, true);
+    c.b.end();
+    return c.b.finish();
+}
+
+} // namespace numaws::workloads

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared helpers for the workload dag generators: placement -> region
+ * policy mapping, place-hint assignment for top-level splits, and the
+ * cycle-cost constants the analytic models use.
+ *
+ * Cost constants are calibrated to plausible per-element cycle counts at
+ * 2.2 GHz; absolute values only set the scale of reported seconds. The
+ * paper comparisons reproduced here are ratios (work inflation, speedup,
+ * T1/TS), which depend on the *relative* weight of compute vs memory, not
+ * on these absolute constants.
+ */
+#ifndef NUMAWS_WORKLOADS_COMMON_H
+#define NUMAWS_WORKLOADS_COMMON_H
+
+#include <cmath>
+
+#include "workloads/workloads.h"
+
+namespace numaws::workloads {
+
+/** Region policy realizing a Placement on the simulated machine. */
+inline sim::RegionPolicy
+regionPolicy(Placement p)
+{
+    switch (p) {
+      case Placement::FirstTouch:
+        return sim::RegionPolicy::Single; // serial init faults on socket 0
+      case Placement::Interleaved:
+        return sim::RegionPolicy::Interleaved;
+      case Placement::Partitioned:
+        return sim::RegionPolicy::Partitioned;
+    }
+    return sim::RegionPolicy::Single;
+}
+
+/**
+ * Place for chunk @p chunk of @p chunks at the top-level split, spread
+ * over @p places (i-th chunk at place i*places/chunks), or kAnyPlace when
+ * hints are disabled.
+ */
+inline Place
+chunkPlace(bool hints, int chunk, int chunks, int places)
+{
+    if (!hints || places <= 1)
+        return kAnyPlace;
+    return static_cast<Place>(chunk * places / chunks);
+}
+
+/** log2 for cost models (>= 1 to keep leaf costs positive). */
+inline double
+log2At(double x)
+{
+    return x < 2.0 ? 1.0 : std::log2(x);
+}
+
+/** @name Cycle-cost constants (per element unless noted) */
+/// @{
+inline constexpr double kQsortCyclesPerElemPerLog = 3.0;
+inline constexpr double kMergeCyclesPerElem = 6.0;
+inline constexpr double kHeatCyclesPerCell = 8.0;
+inline constexpr double kMatmulCyclesPerMadd = 1.5;
+inline constexpr double kAddCyclesPerElem = 3.0;
+inline constexpr double kHullReduceCyclesPerPoint = 6.0;
+inline constexpr double kHullPackCyclesPerPoint = 5.0;
+inline constexpr double kSpmvCyclesPerNnz = 10.0;
+inline constexpr double kVecCyclesPerElem = 4.0;
+/**
+ * Kernel-efficiency penalty of row-major blocks relative to contiguous
+ * blocked Z-Morton blocks. Strided base-case kernels pay L1/L2/TLB and
+ * prefetcher costs *inside* the kernel loop, below the granularity of the
+ * LLC model, so the effect is modeled as a multiplier on base-case
+ * compute. Calibrated from the paper's own serial times: matmul TS
+ * 190.86s vs matmul-z 73.63s => 2.6x; strassen 112.82s vs strassen-z
+ * 80.43s => 1.4x (strassen's temps are compact either way, so only the
+ * quadrant-facing phases pay).
+ */
+inline constexpr double kMatmulRowMajorPenalty = 2.6;
+inline constexpr double kStrassenRowMajorPenalty = 1.4;
+/// @}
+
+} // namespace numaws::workloads
+
+#endif // NUMAWS_WORKLOADS_COMMON_H

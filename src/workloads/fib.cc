@@ -1,0 +1,68 @@
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace numaws::workloads {
+
+uint64_t
+fibSerial(int n)
+{
+    return n < 2 ? static_cast<uint64_t>(n)
+                 : fibSerial(n - 1) + fibSerial(n - 2);
+}
+
+namespace {
+
+uint64_t
+fibTask(int n, int cutoff)
+{
+    if (n < cutoff)
+        return fibSerial(n);
+    uint64_t a = 0;
+    TaskGroup tg;
+    tg.spawn([&a, n, cutoff] { a = fibTask(n - 1, cutoff); });
+    const uint64_t b = fibTask(n - 2, cutoff);
+    tg.sync();
+    return a + b;
+}
+
+void
+fibDagRec(sim::DagBuilder &b, int n, double leaf_cycles)
+{
+    if (n < 2) {
+        b.strand(leaf_cycles, {});
+        return;
+    }
+    // spawn fib(n-1); call fib(n-2); sync. The called branch gets its
+    // own frame too: a flattened call would leak its internal syncs into
+    // this frame's scope (joining the spawned sibling and serializing),
+    // which real Cilk call frames do not do.
+    b.spawn(kAnyPlace);
+    fibDagRec(b, n - 1, leaf_cycles);
+    b.end();
+    b.spawn(kAnyPlace);
+    fibDagRec(b, n - 2, leaf_cycles);
+    b.end();
+    b.sync();
+}
+
+} // namespace
+
+uint64_t
+fibParallel(Runtime &rt, int n, int cutoff)
+{
+    uint64_t result = 0;
+    rt.run([&] { result = fibTask(n, cutoff); });
+    return result;
+}
+
+sim::ComputationDag
+fibDag(int n, double leaf_cycles)
+{
+    sim::DagBuilder b;
+    b.beginRoot();
+    fibDagRec(b, n, leaf_cycles);
+    b.end();
+    return b.finish();
+}
+
+} // namespace numaws::workloads

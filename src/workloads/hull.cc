@@ -1,0 +1,456 @@
+/**
+ * @file
+ * hull: quickhull convex hull (from the problem-based benchmark suite).
+ *
+ * The algorithm repeatedly draws maximum triangles and eliminates interior
+ * points. Input regime matters enormously (Section V): points *inside* a
+ * circle (hull1) are eliminated almost immediately, so the run is
+ * dominated by the initial full-array partition (prefix-sum-like passes
+ * with little locality); points *on* a circle (hull2) are all hull points,
+ * so recursion is deep and compute-heavy.
+ */
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace numaws::workloads {
+
+namespace {
+
+double
+cross(const Point &o, const Point &a, const Point &b)
+{
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+// ------------------------------------------------------------------
+// Serial quickhull
+// ------------------------------------------------------------------
+
+/** Hull points strictly between a and b (left side), in boundary order. */
+void
+hullRecSerial(const std::vector<Point> &pts, const Point &a, const Point &b,
+              std::vector<Point> &out)
+{
+    if (pts.empty())
+        return;
+    // Farthest point from line a->b.
+    std::size_t far = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const double d = cross(a, b, pts[i]);
+        if (d > best) {
+            best = d;
+            far = i;
+        }
+    }
+    const Point f = pts[far];
+    std::vector<Point> left1, left2;
+    for (const Point &p : pts) {
+        if (cross(a, f, p) > 0.0)
+            left1.push_back(p);
+        else if (cross(f, b, p) > 0.0)
+            left2.push_back(p);
+    }
+    hullRecSerial(left1, a, f, out);
+    out.push_back(f);
+    hullRecSerial(left2, f, b, out);
+}
+
+// ------------------------------------------------------------------
+// Parallel quickhull
+// ------------------------------------------------------------------
+
+/** Parallel filter: keep points satisfying pred, chunked. */
+template <typename Pred>
+std::vector<Point>
+filterPar(const std::vector<Point> &pts, int64_t base, const Pred &pred)
+{
+    if (static_cast<int64_t>(pts.size()) <= base) {
+        std::vector<Point> out;
+        out.reserve(pts.size());
+        for (const Point &p : pts)
+            if (pred(p))
+                out.push_back(p);
+        return out;
+    }
+    const int64_t n = static_cast<int64_t>(pts.size());
+    const int chunks =
+        static_cast<int>(std::min<int64_t>(64, (n + base - 1) / base));
+    std::vector<std::vector<Point>> parts(chunks);
+    TaskGroup tg;
+    for (int c = 0; c < chunks; ++c) {
+        const RangeChunk rc = chunkOf(n, chunks, c);
+        tg.spawn([&, rc, c] {
+            auto &dst = parts[c];
+            dst.reserve(static_cast<std::size_t>(rc.end - rc.begin));
+            for (int64_t i = rc.begin; i < rc.end; ++i)
+                if (pred(pts[i]))
+                    dst.push_back(pts[i]);
+        });
+    }
+    tg.sync();
+    std::size_t total = 0;
+    for (const auto &part : parts)
+        total += part.size();
+    std::vector<Point> out;
+    out.reserve(total);
+    for (const auto &part : parts)
+        out.insert(out.end(), part.begin(), part.end());
+    return out;
+}
+
+/** Parallel argmax of score over pts (chunked reduce). */
+template <typename Score>
+std::size_t
+argmaxPar(const std::vector<Point> &pts, int64_t base, const Score &score)
+{
+    const int64_t n = static_cast<int64_t>(pts.size());
+    if (n <= base) {
+        std::size_t best = 0;
+        double best_score = score(pts[0]);
+        for (std::size_t i = 1; i < pts.size(); ++i) {
+            const double sc = score(pts[i]);
+            if (sc > best_score) {
+                best_score = sc;
+                best = i;
+            }
+        }
+        return best;
+    }
+    const int chunks =
+        static_cast<int>(std::min<int64_t>(64, (n + base - 1) / base));
+    std::vector<std::size_t> local(chunks, 0);
+    TaskGroup tg;
+    for (int c = 0; c < chunks; ++c) {
+        const RangeChunk rc = chunkOf(n, chunks, c);
+        tg.spawn([&, rc, c] {
+            std::size_t best = static_cast<std::size_t>(rc.begin);
+            double best_score = score(pts[best]);
+            for (int64_t i = rc.begin + 1; i < rc.end; ++i) {
+                const double sc = score(pts[i]);
+                if (sc > best_score) {
+                    best_score = sc;
+                    best = static_cast<std::size_t>(i);
+                }
+            }
+            local[c] = best;
+        });
+    }
+    tg.sync();
+    std::size_t best = local[0];
+    for (int c = 1; c < chunks; ++c)
+        if (score(pts[local[c]]) > score(pts[best]))
+            best = local[c];
+    return best;
+}
+
+void
+hullRecParallel(const std::vector<Point> &pts, const Point &a,
+                const Point &b, std::vector<Point> &out, int64_t base)
+{
+    if (static_cast<int64_t>(pts.size()) <= base) {
+        hullRecSerial(pts, a, b, out);
+        return;
+    }
+    const std::size_t far = argmaxPar(
+        pts, base, [&](const Point &p) { return cross(a, b, p); });
+    const Point f = pts[far];
+    std::vector<Point> left1, left2;
+    {
+        TaskGroup tg;
+        tg.spawn([&] {
+            left1 = filterPar(pts, base, [&](const Point &p) {
+                return cross(a, f, p) > 0.0;
+            });
+        });
+        left2 = filterPar(pts, base, [&](const Point &p) {
+            return cross(f, b, p) > 0.0;
+        });
+        tg.sync();
+    }
+    // Children in boundary order; the two sides can themselves be
+    // computed in parallel into separate buffers.
+    std::vector<Point> out1, out2;
+    {
+        TaskGroup tg;
+        tg.spawn([&] { hullRecParallel(left1, a, f, out1, base); });
+        hullRecParallel(left2, f, b, out2, base);
+        tg.sync();
+    }
+    out.insert(out.end(), out1.begin(), out1.end());
+    out.push_back(f);
+    out.insert(out.end(), out2.begin(), out2.end());
+}
+
+// ------------------------------------------------------------------
+// Dag generator
+// ------------------------------------------------------------------
+
+struct HullDagCtx
+{
+    sim::DagBuilder b;
+    sim::RegionId pts = 0;  ///< point coordinates
+    sim::RegionId pts2 = 0; ///< packed output of partitions
+    sim::RegionId aux = 0;  ///< flags / prefix sums
+    const HullParams *p = nullptr;
+    int places = 1;
+    bool hints = false;
+};
+
+/** Recursive chunk tree over [lo, hi) point indices; leaf emits a strand
+ * via @p leaf(lo, hi). @p top_hints attaches place hints to the top-level
+ * 4-way split (used for the initial full-array passes). */
+template <typename Leaf>
+void
+chunkTreeDag(HullDagCtx &c, int64_t lo, int64_t hi, const Leaf &leaf,
+             bool top_hints)
+{
+    const HullParams &p = *c.p;
+    if (hi - lo <= p.base) {
+        leaf(lo, hi);
+        return;
+    }
+    if (top_hints && c.places > 1) {
+        for (int ch = 0; ch < 4; ++ch) {
+            const int64_t a = lo + (hi - lo) * ch / 4;
+            const int64_t b2 = lo + (hi - lo) * (ch + 1) / 4;
+            c.b.spawn(chunkPlace(c.hints, ch, 4, c.places));
+            chunkTreeDag(c, a, b2, leaf, false);
+            c.b.end();
+        }
+        c.b.sync();
+        return;
+    }
+    const int64_t mid = lo + (hi - lo) / 2;
+    c.b.spawn(); // inherit
+    chunkTreeDag(c, lo, mid, leaf, false);
+    c.b.end();
+    c.b.spawn(); // called branch: own frame, own sync scope
+    chunkTreeDag(c, mid, hi, leaf, false);
+    c.b.end();
+    c.b.sync();
+}
+
+/** Reduce pass over points [lo, hi): read-only scan. */
+void
+reducePassDag(HullDagCtx &c, int64_t lo, int64_t hi, bool top_hints)
+{
+    chunkTreeDag(
+        c, lo, hi,
+        [&](int64_t a, int64_t b) {
+            c.b.strand(kHullReduceCyclesPerPoint
+                           * static_cast<double>(b - a),
+                       {{c.pts, static_cast<uint64_t>(a) * 16,
+                         static_cast<uint64_t>(b - a) * 16}});
+        },
+        top_hints);
+}
+
+/** Partition (pack) over [lo, hi): flags + prefix + scatter, modeled as
+ * three passes (the prefix-sum propagations the paper calls out as the
+ * locality-poor phase of hull1). */
+void
+packPassDag(HullDagCtx &c, int64_t lo, int64_t hi, bool top_hints)
+{
+    // Pass 1: compute flags (read pts, write aux).
+    chunkTreeDag(
+        c, lo, hi,
+        [&](int64_t a, int64_t b) {
+            c.b.strand(kHullPackCyclesPerPoint
+                           * static_cast<double>(b - a),
+                       {{c.pts, static_cast<uint64_t>(a) * 16,
+                         static_cast<uint64_t>(b - a) * 16},
+                        {c.aux, static_cast<uint64_t>(a) * 8,
+                         static_cast<uint64_t>(b - a) * 8}});
+        },
+        top_hints);
+    // Pass 2: prefix sum over aux (up + down sweep; rw).
+    for (int pass = 0; pass < 2; ++pass) {
+        chunkTreeDag(
+            c, lo, hi,
+            [&](int64_t a, int64_t b) {
+                c.b.strand(3.0 * static_cast<double>(b - a),
+                           {{c.aux, static_cast<uint64_t>(a) * 8,
+                             static_cast<uint64_t>(b - a) * 8}});
+            },
+            top_hints);
+    }
+    // Pass 3: scatter (read pts + aux, write pts2).
+    chunkTreeDag(
+        c, lo, hi,
+        [&](int64_t a, int64_t b) {
+            c.b.strand(kHullPackCyclesPerPoint
+                           * static_cast<double>(b - a),
+                       {{c.pts, static_cast<uint64_t>(a) * 16,
+                         static_cast<uint64_t>(b - a) * 16},
+                        {c.aux, static_cast<uint64_t>(a) * 8,
+                         static_cast<uint64_t>(b - a) * 8},
+                        {c.pts2, static_cast<uint64_t>(a) * 16,
+                         static_cast<uint64_t>(b - a) * 16}});
+        },
+        top_hints);
+}
+
+/** Recursive segment elimination. @p m points remain in [lo, lo+m). */
+void
+segmentDag(HullDagCtx &c, int64_t lo, int64_t m)
+{
+    const HullParams &p = *c.p;
+    if (m <= p.base) {
+        c.b.strand(8.0 * static_cast<double>(m),
+                   {{c.pts2, static_cast<uint64_t>(lo) * 16,
+                     static_cast<uint64_t>(m) * 16}});
+        return;
+    }
+    // Farthest-point reduce + partition of the surviving range.
+    reducePassDag(c, lo, lo + m, false);
+    packPassDag(c, lo, lo + m, false);
+    // Deterministic stand-in for the data-dependent elimination: points
+    // inside the circle vanish fast; points on it survive.
+    const double keep = p.onSphere ? 0.9 : 0.1;
+    const int64_t child = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(m) * keep / 2.0));
+    // The pack phases keep each segment contiguous in index space, so a
+    // segment's data has a well-defined home; with hints on, earmark the
+    // segment frame for the place owning its range midpoint (co-locate
+    // computation with data, Section III).
+    auto seg_place = [&](int64_t seg_lo, int64_t seg_m) {
+        if (!c.hints || c.places <= 1)
+            return kAnyPlace;
+        return static_cast<Place>((seg_lo + seg_m / 2) * c.places
+                                  / c.p->n);
+    };
+    c.b.spawn(seg_place(lo, child));
+    segmentDag(c, lo, child);
+    c.b.end();
+    c.b.spawn(seg_place(lo + m - child, child));
+    segmentDag(c, lo + m - child, child);
+    c.b.end();
+    c.b.sync();
+}
+
+} // namespace
+
+std::vector<Point>
+hullMakeInput(const HullParams &p, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Point> pts;
+    pts.reserve(static_cast<std::size_t>(p.n));
+    for (int64_t i = 0; i < p.n; ++i) {
+        const double theta = 2.0 * M_PI * rng.nextDouble();
+        const double r =
+            p.onSphere ? 1.0 : std::sqrt(rng.nextDouble());
+        pts.push_back(Point{r * std::cos(theta), r * std::sin(theta)});
+    }
+    return pts;
+}
+
+std::vector<Point>
+hullSerial(const std::vector<Point> &pts)
+{
+    NUMAWS_ASSERT(pts.size() >= 2);
+    std::size_t lo = 0, hi = 0;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        if (pts[i].x < pts[lo].x
+            || (pts[i].x == pts[lo].x && pts[i].y < pts[lo].y))
+            lo = i;
+        if (pts[i].x > pts[hi].x
+            || (pts[i].x == pts[hi].x && pts[i].y > pts[hi].y))
+            hi = i;
+    }
+    const Point a = pts[lo];
+    const Point b = pts[hi];
+    std::vector<Point> upper, lower;
+    for (const Point &p : pts) {
+        if (cross(a, b, p) > 0.0)
+            upper.push_back(p);
+        else if (cross(b, a, p) > 0.0)
+            lower.push_back(p);
+    }
+    std::vector<Point> out;
+    out.push_back(a);
+    hullRecSerial(upper, a, b, out);
+    out.push_back(b);
+    hullRecSerial(lower, b, a, out);
+    return out;
+}
+
+std::vector<Point>
+hullParallel(Runtime &rt, const std::vector<Point> &pts,
+             const HullParams &p, bool hints)
+{
+    (void)hints; // hint placement is positional; see hullDag for the model
+    std::vector<Point> out;
+    rt.run([&] {
+        const std::size_t lo = argmaxPar(
+            pts, p.base, [](const Point &q) { return -q.x; });
+        const std::size_t hi = argmaxPar(
+            pts, p.base, [](const Point &q) { return q.x; });
+        const Point a = pts[lo];
+        const Point b = pts[hi];
+        std::vector<Point> upper, lower;
+        {
+            TaskGroup tg;
+            tg.spawn([&] {
+                upper = filterPar(pts, p.base, [&](const Point &q) {
+                    return cross(a, b, q) > 0.0;
+                });
+            });
+            lower = filterPar(pts, p.base, [&](const Point &q) {
+                return cross(b, a, q) > 0.0;
+            });
+            tg.sync();
+        }
+        std::vector<Point> up_out, lo_out;
+        {
+            TaskGroup tg;
+            tg.spawn([&] { hullRecParallel(upper, a, b, up_out, p.base); });
+            hullRecParallel(lower, b, a, lo_out, p.base);
+            tg.sync();
+        }
+        out.push_back(a);
+        out.insert(out.end(), up_out.begin(), up_out.end());
+        out.push_back(b);
+        out.insert(out.end(), lo_out.begin(), lo_out.end());
+    });
+    return out;
+}
+
+sim::ComputationDag
+hullDag(const HullParams &p, int places, Placement placement, bool hints)
+{
+    HullDagCtx c;
+    c.p = &p;
+    c.places = places;
+    c.hints = hints;
+    const uint64_t pt_bytes = static_cast<uint64_t>(p.n) * 16;
+    c.pts = c.b.region("points", pt_bytes, regionPolicy(placement));
+    c.pts2 = c.b.region("packed", pt_bytes, regionPolicy(placement));
+    c.aux = c.b.region("aux", static_cast<uint64_t>(p.n) * 8,
+                       regionPolicy(placement));
+
+    c.b.beginRoot();
+    // Initial min/max reduce and full-array partition (hinted: the only
+    // phase with a stable data decomposition).
+    reducePassDag(c, 0, p.n, true);
+    packPassDag(c, 0, p.n, true);
+    // Two sides of the initial line, each keeping ~half the points, then
+    // recursive triangle elimination.
+    const int64_t half = p.n / 2;
+    c.b.spawn(kAnyPlace);
+    segmentDag(c, 0, half);
+    c.b.end();
+    c.b.spawn(kAnyPlace);
+    segmentDag(c, half, p.n - half);
+    c.b.end();
+    c.b.sync();
+    c.b.end();
+    return c.b.finish();
+}
+
+} // namespace numaws::workloads

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Benchmark registry: the paper's table rows, in the paper's order, each
+ * with its dag generator and a scaled default input (our simulated
+ * machine executes every dag node, so inputs are scaled down from the
+ * paper's; EXPERIMENTS.md records the factors).
+ */
+#include <algorithm>
+
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace numaws::workloads {
+
+namespace {
+
+int64_t
+scaled(int64_t v, double s, int64_t min_v)
+{
+    return std::max<int64_t>(min_v, static_cast<int64_t>(
+                                        static_cast<double>(v) * s));
+}
+
+/** Round down to a power of two (block-structured benchmarks need it). */
+uint32_t
+pow2Below(int64_t v)
+{
+    uint32_t p = 1;
+    while (static_cast<int64_t>(p) * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+std::vector<SimWorkload>
+simWorkloads(double scale)
+{
+    std::vector<SimWorkload> out;
+
+    {
+        CgParams p;
+        p.n = scaled(p.n, scale, 4096);
+        p.iters = scaled(p.iters, scale, 2);
+        p.band = std::min<int64_t>(p.band, p.n / 4);
+        p.baseRows = std::max<int64_t>(64, p.n / 64);
+        out.push_back(
+            {"cg", "n=" + std::to_string(p.n) + " iters="
+                       + std::to_string(p.iters),
+             [p](int places, Placement pl, bool hints) {
+                 return cgDag(p, places, pl, hints);
+             }});
+    }
+    {
+        CilksortParams p;
+        p.n = scaled(p.n, scale, 1 << 16);
+        p.sortBase = std::max<int64_t>(512, p.n / 256);
+        p.mergeBase = p.sortBase;
+        out.push_back(
+            {"cilksort", "n=" + std::to_string(p.n),
+             [p](int places, Placement pl, bool hints) {
+                 return cilksortDag(p, places, pl, hints);
+             }});
+    }
+    {
+        HeatParams p;
+        p.steps = scaled(p.steps, scale, 2);
+        if (scale < 1.0) {
+            p.nx = scaled(p.nx, std::sqrt(scale), 128);
+            p.ny = scaled(p.ny, std::sqrt(scale), 128);
+        }
+        p.baseRows = std::max<int64_t>(4, p.nx / 128);
+        out.push_back(
+            {"heat", std::to_string(p.nx) + "x" + std::to_string(p.ny)
+                         + " x" + std::to_string(p.steps),
+             [p](int places, Placement pl, bool hints) {
+                 return heatDag(p, places, pl, hints);
+             }});
+    }
+    for (const bool sphere : {false, true}) {
+        HullParams p;
+        p.onSphere = sphere;
+        p.n = scaled(p.n, scale, 1 << 15);
+        p.base = std::max<int64_t>(256, p.n / 256);
+        out.push_back(
+            {sphere ? "hull2" : "hull1", "n=" + std::to_string(p.n),
+             [p](int places, Placement pl, bool hints) {
+                 return hullDag(p, places, pl, hints);
+             }});
+    }
+    for (const bool z : {false, true}) {
+        MatmulParams p;
+        p.zLayout = z;
+        if (scale < 1.0)
+            p.n = std::max<uint32_t>(
+                256, pow2Below(static_cast<int64_t>(p.n * std::sqrt(scale))));
+        p.block = std::min(p.block, p.n / 8);
+        out.push_back(
+            {z ? "matmul-z" : "matmul",
+             std::to_string(p.n) + "^2 / " + std::to_string(p.block)
+                 + "^2",
+             [p](int places, Placement pl, bool hints) {
+                 return matmulDag(p, places, pl, hints);
+             }});
+    }
+    for (const bool z : {false, true}) {
+        StrassenParams p;
+        p.zLayout = z;
+        if (scale < 1.0)
+            p.n = std::max<uint32_t>(
+                256, pow2Below(static_cast<int64_t>(p.n * std::sqrt(scale))));
+        p.block = std::min(p.block, p.n / 8);
+        out.push_back(
+            {z ? "strassen-z" : "strassen",
+             std::to_string(p.n) + "^2 / " + std::to_string(p.block)
+                 + "^2",
+             [p](int places, Placement pl, bool hints) {
+                 return strassenDag(p, places, pl, hints);
+             }});
+    }
+    return out;
+}
+
+} // namespace numaws::workloads

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * strassen: seven recursive multiplications plus quadrant additions.
+ *
+ * The paper attaches no locality hints to strassen (Section V-A discusses
+ * why: submatrices are consumed by several of the seven products, so data
+ * is necessarily shared across sockets); we reproduce that, so strassen
+ * exercises the "NUMA-WS must not hurt" side of the evaluation. The -z
+ * variant (dag only) uses the blocked Z-Morton layout for A/B/C, making
+ * quadrant reads contiguous.
+ */
+#include <vector>
+
+#include "layout/blocked_matrix.h"
+#include "layout/zmorton.h"
+#include "workloads/common.h"
+#include "workloads/workloads.h"
+
+namespace numaws::workloads {
+
+namespace {
+
+/** dst[h x h] (ld ldd) = x (ldx) + s * y (ldy), s in {+1, -1}. */
+void
+addSub(double *dst, uint32_t ldd, const double *x, uint32_t ldx,
+       const double *y, uint32_t ldy, uint32_t h, double s)
+{
+    for (uint32_t i = 0; i < h; ++i)
+        for (uint32_t j = 0; j < h; ++j)
+            dst[static_cast<std::size_t>(i) * ldd + j] =
+                x[static_cast<std::size_t>(i) * ldx + j]
+                + s * y[static_cast<std::size_t>(i) * ldy + j];
+}
+
+void
+copyBlock(double *dst, uint32_t ldd, const double *x, uint32_t ldx,
+          uint32_t h)
+{
+    for (uint32_t i = 0; i < h; ++i)
+        for (uint32_t j = 0; j < h; ++j)
+            dst[static_cast<std::size_t>(i) * ldd + j] =
+                x[static_cast<std::size_t>(i) * ldx + j];
+}
+
+/** Base case: c = a * b (overwrite), all leading dimension ld*. */
+void
+kernelAssign(const double *a, uint32_t lda, const double *b, uint32_t ldb,
+             double *c, uint32_t ldc, uint32_t n)
+{
+    for (uint32_t i = 0; i < n; ++i) {
+        double *crow = c + static_cast<std::size_t>(i) * ldc;
+        for (uint32_t j = 0; j < n; ++j)
+            crow[j] = 0.0;
+        for (uint32_t k = 0; k < n; ++k) {
+            const double aik = a[static_cast<std::size_t>(i) * lda + k];
+            const double *brow = b + static_cast<std::size_t>(k) * ldb;
+            for (uint32_t j = 0; j < n; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+}
+
+/** One Strassen product M_i: operands are built into compact temps, the
+ * recursion runs on them, the result lands in a compact h x h buffer. */
+struct Quad
+{
+    const double *ptr;
+    uint32_t ld;
+};
+
+void strassenRec(const double *a, uint32_t lda, const double *b,
+                 uint32_t ldb, double *c, uint32_t ldc, uint32_t n,
+                 uint32_t block, bool parallel);
+
+/** Compute one M_i = (xa op ya) * (xb op yb) into @p out (compact). */
+void
+productTask(Quad xa, Quad ya, double sa, Quad xb, Quad yb, double sb,
+            double *out, uint32_t h, uint32_t block, bool parallel)
+{
+    std::vector<double> ta(static_cast<std::size_t>(h) * h);
+    std::vector<double> tb(static_cast<std::size_t>(h) * h);
+    if (ya.ptr != nullptr)
+        addSub(ta.data(), h, xa.ptr, xa.ld, ya.ptr, ya.ld, h, sa);
+    else
+        copyBlock(ta.data(), h, xa.ptr, xa.ld, h);
+    if (yb.ptr != nullptr)
+        addSub(tb.data(), h, xb.ptr, xb.ld, yb.ptr, yb.ld, h, sb);
+    else
+        copyBlock(tb.data(), h, xb.ptr, xb.ld, h);
+    strassenRec(ta.data(), h, tb.data(), h, out, h, h, block, parallel);
+}
+
+void
+strassenRec(const double *a, uint32_t lda, const double *b, uint32_t ldb,
+            double *c, uint32_t ldc, uint32_t n, uint32_t block,
+            bool parallel)
+{
+    if (n <= block) {
+        kernelAssign(a, lda, b, ldb, c, ldc, n);
+        return;
+    }
+    const uint32_t h = n / 2;
+    const Quad a11{a, lda};
+    const Quad a12{a + h, lda};
+    const Quad a21{a + static_cast<std::size_t>(h) * lda, lda};
+    const Quad a22{a + static_cast<std::size_t>(h) * lda + h, lda};
+    const Quad b11{b, ldb};
+    const Quad b12{b + h, ldb};
+    const Quad b21{b + static_cast<std::size_t>(h) * ldb, ldb};
+    const Quad b22{b + static_cast<std::size_t>(h) * ldb + h, ldb};
+    const Quad none{nullptr, 0};
+
+    std::vector<double> m(static_cast<std::size_t>(7) * h * h);
+    double *mp[7];
+    for (int i = 0; i < 7; ++i)
+        mp[i] = m.data() + static_cast<std::size_t>(i) * h * h;
+
+    auto run_all = [&](auto &&go) {
+        go(0, a11, a22, +1.0, b11, b22, +1.0); // M1=(A11+A22)(B11+B22)
+        go(1, a21, a22, +1.0, b11, none, +1.0); // M2=(A21+A22)B11
+        go(2, a11, none, +1.0, b12, b22, -1.0); // M3=A11(B12-B22)
+        go(3, a22, none, +1.0, b21, b11, -1.0); // M4=A22(B21-B11)
+        go(4, a11, a12, +1.0, b22, none, +1.0); // M5=(A11+A12)B22
+        go(5, a21, a11, -1.0, b11, b12, +1.0); // M6=(A21-A11)(B11+B12)
+        go(6, a12, a22, -1.0, b21, b22, +1.0); // M7=(A12-A22)(B21+B22)
+    };
+
+    if (parallel) {
+        TaskGroup tg;
+        run_all([&](int i, Quad xa, Quad ya, double sa, Quad xb, Quad yb,
+                    double sb) {
+            if (i < 6) {
+                tg.spawn([=, out = mp[i]] {
+                    productTask(xa, ya, sa, xb, yb, sb, out, h, block,
+                                true);
+                });
+            } else {
+                productTask(xa, ya, sa, xb, yb, sb, mp[i], h, block, true);
+            }
+        });
+        tg.sync();
+    } else {
+        run_all([&](int i, Quad xa, Quad ya, double sa, Quad xb, Quad yb,
+                    double sb) {
+            productTask(xa, ya, sa, xb, yb, sb, mp[i], h, block, false);
+        });
+    }
+
+    // C11 = M1 + M4 - M5 + M7; C12 = M3 + M5; C21 = M2 + M4;
+    // C22 = M1 - M2 + M3 + M6.
+    double *c11 = c;
+    double *c12 = c + h;
+    double *c21 = c + static_cast<std::size_t>(h) * ldc;
+    double *c22 = c + static_cast<std::size_t>(h) * ldc + h;
+    for (uint32_t i = 0; i < h; ++i)
+        for (uint32_t j = 0; j < h; ++j) {
+            const std::size_t t = static_cast<std::size_t>(i) * h + j;
+            const std::size_t o = static_cast<std::size_t>(i) * ldc + j;
+            c11[o] = mp[0][t] + mp[3][t] - mp[4][t] + mp[6][t];
+            c12[o] = mp[2][t] + mp[4][t];
+            c21[o] = mp[1][t] + mp[3][t];
+            c22[o] = mp[0][t] - mp[1][t] + mp[2][t] + mp[5][t];
+        }
+}
+
+// ------------------------------------------------------------------
+// Dag generator
+// ------------------------------------------------------------------
+
+struct StrassenDagCtx
+{
+    sim::DagBuilder b;
+    sim::RegionId a = 0, bm = 0, c = 0, temps = 0;
+    uint64_t tempCursor = 0; ///< element offset bump allocator
+    const StrassenParams *p = nullptr;
+};
+
+/** An operand in the dag model: region + element offset of a compact
+ * (or quadrant-approximated) h x h range. */
+struct DagOperand
+{
+    sim::RegionId region;
+    uint64_t elemOffset;
+};
+
+/** Approximate access range for an h x h quadrant at (i0, j0). For the Z
+ * layout, aligned power-of-two quadrants really are contiguous; for
+ * row-major we charge a contiguous range of the same byte count starting
+ * at the quadrant origin (the whole matrix is touched at every level by
+ * the sibling quadrants, so which exact bytes matters little to the LLC
+ * model — documented approximation). */
+DagOperand
+quadrant(const StrassenDagCtx &ctx, sim::RegionId m, uint64_t n,
+         uint64_t i0, uint64_t j0, uint64_t h)
+{
+    (void)h;
+    if (ctx.p->zLayout) {
+        const uint64_t bs = ctx.p->block;
+        return {m, zMortonEncode(static_cast<uint32_t>(i0 / bs),
+                                 static_cast<uint32_t>(j0 / bs))
+                       * bs * bs};
+    }
+    return {m, i0 * n + j0};
+}
+
+sim::MemAccess
+operandAccess(DagOperand op, uint64_t h)
+{
+    return {op.region, op.elemOffset * 8, h * h * 8};
+}
+
+/** Penalty on phases that touch A/B/C quadrants (strided when row-major;
+ * the temps are compact either way). */
+double
+quadrantPenalty(const StrassenDagCtx &ctx)
+{
+    return ctx.p->zLayout ? 1.0 : kStrassenRowMajorPenalty;
+}
+
+/**
+ * Emit @p chunks spawned strands splitting an element-wise pass of
+ * @p total_cycles over the given accesses (byte ranges split evenly) —
+ * the parallel additions of the real code.
+ */
+void
+chunkedPassDag(StrassenDagCtx &ctx, double total_cycles,
+               const std::vector<sim::MemAccess> &accesses, int chunks)
+{
+    for (int ch = 0; ch < chunks; ++ch) {
+        std::vector<sim::MemAccess> part;
+        part.reserve(accesses.size());
+        for (const sim::MemAccess &a : accesses) {
+            const uint64_t lo = a.bytes * ch / chunks;
+            const uint64_t hi = a.bytes * (ch + 1) / chunks;
+            if (hi > lo)
+                part.push_back({a.region, a.offset + lo, hi - lo});
+        }
+        ctx.b.spawn(kAnyPlace);
+        ctx.b.strand(total_cycles / chunks, part);
+        ctx.b.end();
+    }
+    ctx.b.sync();
+}
+
+void
+strassenDagRec(StrassenDagCtx &ctx, DagOperand a, DagOperand b,
+               DagOperand c, uint64_t h)
+{
+    const StrassenParams &p = *ctx.p;
+    if (h <= p.block) {
+        ctx.b.strand(kMatmulCyclesPerMadd * static_cast<double>(h) * h * h,
+                     {operandAccess(a, h), operandAccess(b, h),
+                      operandAccess(c, h)});
+        return;
+    }
+    const uint64_t hh = h / 2;
+    // 14 operand temps + 7 product temps, bump-allocated so concurrent
+    // subtrees never alias.
+    const uint64_t base = ctx.tempCursor;
+    ctx.tempCursor += 21 * hh * hh;
+    auto temp = [&](int i) {
+        return DagOperand{ctx.temps, base + static_cast<uint64_t>(i) * hh
+                                          * hh};
+    };
+
+    // Seven products, first six spawned, the seventh called (mirroring
+    // the real code), no locality hints. Each product frame prepares its
+    // own two operands (the additions run inside the spawned task, as in
+    // the real implementation) and recurses on compact temps.
+    for (int i = 0; i < 7; ++i) {
+        const DagOperand oa = temp(i);
+        const DagOperand ob = temp(7 + i);
+        const DagOperand oc = temp(14 + i);
+        auto body = [&] {
+            // Operand prep: read A and B quadrants, write 2 hh^2 temps.
+            chunkedPassDag(
+                ctx,
+                kAddCyclesPerElem * quadrantPenalty(ctx) * 2.0
+                    * static_cast<double>(hh) * hh,
+                {operandAccess(a, h), operandAccess(b, h),
+                 {ctx.temps, oa.elemOffset * 8, hh * hh * 8},
+                 {ctx.temps, ob.elemOffset * 8, hh * hh * 8}},
+                4);
+            strassenDagRec(ctx, oa, ob, oc, hh);
+        };
+        if (i < 6) {
+            ctx.b.spawn(kAnyPlace);
+            body();
+            ctx.b.end();
+        } else {
+            ctx.b.spawn(kAnyPlace); // called branch still its own frame
+            body();
+            ctx.b.end();
+            ctx.b.sync();
+        }
+    }
+
+    // Combination pass: read the 7 products, write C (parallel chunks).
+    chunkedPassDag(ctx,
+                   kAddCyclesPerElem * quadrantPenalty(ctx) * 8.0
+                       * static_cast<double>(hh) * hh,
+                   {{ctx.temps, (base + 14 * hh * hh) * 8,
+                     7 * hh * hh * 8},
+                    operandAccess(c, h)},
+                   4);
+}
+
+/** Total temp elements the recursion will bump-allocate. */
+uint64_t
+tempElems(uint64_t n, uint64_t block)
+{
+    if (n <= block)
+        return 0;
+    const uint64_t hh = n / 2;
+    return 21 * hh * hh + 7 * tempElems(hh, block);
+}
+
+} // namespace
+
+void
+strassenSerial(const double *a, const double *b, double *c, uint32_t n,
+               uint32_t block)
+{
+    strassenRec(a, n, b, n, c, n, n, block, false);
+}
+
+void
+strassenParallel(Runtime &rt, const double *a, const double *b, double *c,
+                 const StrassenParams &p)
+{
+    rt.run([&] {
+        strassenRec(a, p.n, b, p.n, c, p.n, p.n, p.block, true);
+    });
+}
+
+sim::ComputationDag
+strassenDag(const StrassenParams &p, int places, Placement placement,
+            bool hints)
+{
+    (void)places;
+    (void)hints; // strassen carries no hints (Section V-A)
+    NUMAWS_ASSERT(isPow2(p.n) && isPow2(p.block) && p.block <= p.n);
+    StrassenDagCtx ctx;
+    ctx.p = &p;
+    const uint64_t bytes = static_cast<uint64_t>(p.n) * p.n * 8;
+    ctx.a = ctx.b.region("A", bytes, regionPolicy(placement));
+    ctx.bm = ctx.b.region("B", bytes, regionPolicy(placement));
+    ctx.c = ctx.b.region("C", bytes, regionPolicy(placement));
+    // Temps are written by whichever socket computes them; model as
+    // interleaved (they have no stable home).
+    ctx.temps = ctx.b.region("temps", tempElems(p.n, p.block) * 8 + 8,
+                             sim::RegionPolicy::Interleaved);
+
+    ctx.b.beginRoot();
+    strassenDagRec(ctx, quadrant(ctx, ctx.a, p.n, 0, 0, p.n),
+                   quadrant(ctx, ctx.bm, p.n, 0, 0, p.n),
+                   quadrant(ctx, ctx.c, p.n, 0, 0, p.n), p.n);
+    ctx.b.end();
+    return ctx.b.finish();
+}
+
+} // namespace numaws::workloads

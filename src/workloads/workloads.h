@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The paper's benchmark suite (Section V), implemented three ways each:
+ *
+ *  - a *serial elision*: the same algorithm with parallel constructs
+ *    removed (the paper's TS baseline);
+ *  - a *real parallel version* running on the threaded runtime
+ *    (src/runtime), used for correctness tests and host-measured work
+ *    efficiency (T1/TS);
+ *  - a *dag generator* lowering the computation into the simulator's
+ *    fork-join representation with analytic cycle costs and the same
+ *    memory-access pattern, used to reproduce every evaluation figure on
+ *    the simulated 32-core machine.
+ *
+ * Benchmarks: cg (NAS conjugate gradient), cilksort (4-way mergesort with
+ * parallel merge, Figure 4), heat (Jacobi 2D), hull (quickhull; two input
+ * regimes hull1/hull2), matmul (8-way divide-and-conquer, with and
+ * without the blocked Z-Morton layout), strassen (ditto), plus fib as a
+ * spawn-overhead microbenchmark.
+ */
+#ifndef NUMAWS_WORKLOADS_WORKLOADS_H
+#define NUMAWS_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/api.h"
+#include "sim/dag.h"
+
+namespace numaws::workloads {
+
+/** Data placement regime for a simulated run (Section V methodology:
+ * vanilla Cilk Plus picks the best of first-touch and interleave; NUMA-WS
+ * partitions data to match its locality hints). */
+enum class Placement { FirstTouch, Interleaved, Partitioned };
+
+/** Everything a bench binary needs to run one benchmark in the sim. */
+struct SimWorkload
+{
+    std::string name;
+    /** Input/base-case description for table headers. */
+    std::string inputDesc;
+    /**
+     * Lower the benchmark to a dag.
+     * @param places virtual places (== sockets in use).
+     * @param placement how regions map to sockets.
+     * @param hints whether locality hints are attached to frames.
+     */
+    std::function<sim::ComputationDag(int places, Placement placement,
+                                      bool hints)>
+        build;
+};
+
+/** All simulated benchmarks in the paper's table order. @p scale in (0,1]
+ * shrinks inputs for quick test runs (1.0 == bench defaults). */
+std::vector<SimWorkload> simWorkloads(double scale = 1.0);
+
+// ---------------------------------------------------------------------
+// fib — spawn-overhead microbenchmark
+// ---------------------------------------------------------------------
+
+uint64_t fibSerial(int n);
+uint64_t fibParallel(Runtime &rt, int n, int cutoff = 18);
+/** Dag: fib tree with unit-leaf costs; used by scheduler property tests. */
+sim::ComputationDag fibDag(int n, double leaf_cycles = 400.0);
+
+// ---------------------------------------------------------------------
+// cilksort — 4-way parallel mergesort with parallel merge (Figure 4)
+// ---------------------------------------------------------------------
+
+struct CilksortParams
+{
+    int64_t n = 1 << 21;
+    int64_t sortBase = 1 << 14;  ///< quicksort below this
+    int64_t mergeBase = 1 << 14; ///< sequential merge below this
+};
+
+void cilksortSerial(int64_t *data, int64_t n, int64_t *tmp,
+                    const CilksortParams &p);
+/** Mergesort with locality hints when @p hints (the Figure 4 program). */
+void cilksortParallel(Runtime &rt, int64_t *data, int64_t n, int64_t *tmp,
+                      const CilksortParams &p, bool hints);
+sim::ComputationDag cilksortDag(const CilksortParams &p, int places,
+                                Placement placement, bool hints);
+
+// ---------------------------------------------------------------------
+// heat — Jacobi heat diffusion on a 2D plane
+// ---------------------------------------------------------------------
+
+struct HeatParams
+{
+    int64_t nx = 2048;   ///< rows
+    int64_t ny = 2048;   ///< columns
+    int64_t steps = 16;
+    int64_t baseRows = 32;
+};
+
+void heatSerial(double *a, double *b, const HeatParams &p);
+void heatParallel(Runtime &rt, double *a, double *b, const HeatParams &p,
+                  bool hints);
+sim::ComputationDag heatDag(const HeatParams &p, int places,
+                            Placement placement, bool hints);
+
+// ---------------------------------------------------------------------
+// matmul — 8-way divide-and-conquer matrix multiply, no temporaries
+// ---------------------------------------------------------------------
+
+struct MatmulParams
+{
+    uint32_t n = 1024;
+    uint32_t block = 64;
+    bool zLayout = false; ///< blocked Z-Morton data layout (Section III-C)
+};
+
+void matmulSerial(const double *a, const double *b, double *c, uint32_t n);
+void matmulParallel(Runtime &rt, const double *a, const double *b,
+                    double *c, const MatmulParams &p, bool hints);
+sim::ComputationDag matmulDag(const MatmulParams &p, int places,
+                              Placement placement, bool hints);
+
+// ---------------------------------------------------------------------
+// strassen — 7-multiplication recursive matrix multiply
+// ---------------------------------------------------------------------
+
+struct StrassenParams
+{
+    uint32_t n = 1024;
+    uint32_t block = 64;
+    bool zLayout = false;
+};
+
+void strassenSerial(const double *a, const double *b, double *c,
+                    uint32_t n, uint32_t block);
+void strassenParallel(Runtime &rt, const double *a, const double *b,
+                      double *c, const StrassenParams &p);
+/** No locality hints, matching the paper (Section V-A). */
+sim::ComputationDag strassenDag(const StrassenParams &p, int places,
+                                Placement placement, bool hints);
+
+// ---------------------------------------------------------------------
+// hull — quickhull convex hull (PBBS); two input regimes
+// ---------------------------------------------------------------------
+
+struct HullParams
+{
+    int64_t n = 1 << 21;
+    int64_t base = 1 << 13;
+    /** true: points on a circle (hull2, heavy); false: inside (hull1). */
+    bool onSphere = false;
+};
+
+struct Point
+{
+    double x, y;
+};
+
+/** Returns hull points in counter-clockwise order. */
+std::vector<Point> hullSerial(const std::vector<Point> &pts);
+std::vector<Point> hullParallel(Runtime &rt, const std::vector<Point> &pts,
+                                const HullParams &p, bool hints);
+std::vector<Point> hullMakeInput(const HullParams &p, uint64_t seed);
+sim::ComputationDag hullDag(const HullParams &p, int places,
+                            Placement placement, bool hints);
+
+// ---------------------------------------------------------------------
+// cg — conjugate gradient on a banded sparse matrix (NAS)
+// ---------------------------------------------------------------------
+
+struct CgParams
+{
+    int64_t n = 1 << 16;       ///< rows
+    int64_t nnzPerRow = 24;    ///< band entries per row
+    int64_t band = 4096;       ///< max |col - row|
+    int64_t iters = 16;
+    int64_t baseRows = 1 << 11;
+};
+
+/** Banded CSR matrix (symmetric positive definite by construction). */
+struct CsrMatrix
+{
+    int64_t n = 0;
+    std::vector<int64_t> rowBegin; ///< n+1 entries
+    std::vector<int64_t> col;
+    std::vector<double> val;
+};
+
+CsrMatrix cgMakeMatrix(const CgParams &p, uint64_t seed);
+/** @return final residual norm after p.iters iterations. */
+double cgSerial(const CsrMatrix &m, const std::vector<double> &b,
+                std::vector<double> &x, const CgParams &p);
+double cgParallel(Runtime &rt, const CsrMatrix &m,
+                  const std::vector<double> &b, std::vector<double> &x,
+                  const CgParams &p, bool hints);
+sim::ComputationDag cgDag(const CgParams &p, int places,
+                          Placement placement, bool hints);
+
+} // namespace numaws::workloads
+
+#endif // NUMAWS_WORKLOADS_WORKLOADS_H

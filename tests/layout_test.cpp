@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Z-Morton layout tests: bit interleaving bijectivity, the Figure 6
+ * orderings (cell Z-Morton vs blocked Z-Morton), block contiguity, and
+ * row-major round trips.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "layout/blocked_matrix.h"
+#include "layout/zmorton.h"
+#include "mem/numa_arena.h"
+
+namespace numaws {
+namespace {
+
+TEST(ZMorton, MatchesFigure6aOrdering)
+{
+    // Figure 6a's top-left 4x4 of the 8x8 Z-Morton matrix.
+    EXPECT_EQ(zMortonEncode(0, 0), 0u);
+    EXPECT_EQ(zMortonEncode(0, 1), 1u);
+    EXPECT_EQ(zMortonEncode(1, 0), 2u);
+    EXPECT_EQ(zMortonEncode(1, 1), 3u);
+    EXPECT_EQ(zMortonEncode(0, 2), 4u);
+    EXPECT_EQ(zMortonEncode(0, 3), 5u);
+    EXPECT_EQ(zMortonEncode(1, 2), 6u);
+    EXPECT_EQ(zMortonEncode(1, 3), 7u);
+    EXPECT_EQ(zMortonEncode(2, 0), 8u);
+    EXPECT_EQ(zMortonEncode(3, 3), 15u);
+    EXPECT_EQ(zMortonEncode(7, 7), 63u);
+}
+
+TEST(ZMorton, EncodeDecodeRoundTrip)
+{
+    for (uint32_t r : {0u, 1u, 5u, 100u, 65535u, 1u << 20})
+        for (uint32_t c : {0u, 3u, 77u, 4096u, (1u << 20) - 1}) {
+            uint32_t r2 = 0, c2 = 0;
+            zMortonDecode(zMortonEncode(r, c), r2, c2);
+            EXPECT_EQ(r2, r);
+            EXPECT_EQ(c2, c);
+        }
+}
+
+TEST(ZMorton, IsBijectiveOnGrid)
+{
+    std::set<uint64_t> codes;
+    for (uint32_t r = 0; r < 32; ++r)
+        for (uint32_t c = 0; c < 32; ++c)
+            codes.insert(zMortonEncode(r, c));
+    EXPECT_EQ(codes.size(), 1024u);
+    EXPECT_EQ(*codes.rbegin(), 1023u);
+}
+
+TEST(ZMorton, SpreadCompactInverse)
+{
+    for (uint64_t x : {0ULL, 1ULL, 0xdeadULL, 0xffffffffULL})
+        EXPECT_EQ(compactBits(spreadBits(x)), x);
+}
+
+TEST(BlockedZOffset, MatchesFigure6b)
+{
+    // Figure 6b: 8x8 matrix, 4x4 blocks laid on the Z curve, row-major
+    // inside each block. Element (0,4) starts the second block -> 16.
+    EXPECT_EQ(blockedZOffset(0, 0, 4, 2), 0u);
+    EXPECT_EQ(blockedZOffset(0, 3, 4, 2), 3u);
+    EXPECT_EQ(blockedZOffset(1, 0, 4, 2), 4u);
+    EXPECT_EQ(blockedZOffset(0, 4, 4, 2), 16u);
+    EXPECT_EQ(blockedZOffset(4, 0, 4, 2), 32u);
+    EXPECT_EQ(blockedZOffset(4, 4, 4, 2), 48u);
+    EXPECT_EQ(blockedZOffset(7, 7, 4, 2), 63u);
+}
+
+TEST(BlockedZMatrix, OffsetsArePermutation)
+{
+    const uint32_t n = 16, block = 4;
+    std::set<uint64_t> seen;
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t j = 0; j < n; ++j)
+            seen.insert(blockedZOffset(i, j, block, n / block));
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(n) * n);
+    EXPECT_EQ(*seen.rbegin(), static_cast<uint64_t>(n) * n - 1);
+}
+
+TEST(BlockedZMatrix, BlocksAreContiguous)
+{
+    BlockedZMatrix<double> m(16, 4);
+    // Every element of block (bi,bj) lies in one 16-element span starting
+    // at blockPtr.
+    for (uint32_t bi = 0; bi < 4; ++bi)
+        for (uint32_t bj = 0; bj < 4; ++bj) {
+            double *base = m.blockPtr(bi, bj);
+            for (uint32_t i = 0; i < 4; ++i)
+                for (uint32_t j = 0; j < 4; ++j) {
+                    double *el = &m.at(bi * 4 + i, bj * 4 + j);
+                    EXPECT_GE(el, base);
+                    EXPECT_LT(el, base + 16);
+                }
+        }
+}
+
+TEST(BlockedZMatrix, RowMajorRoundTrip)
+{
+    const uint32_t n = 32;
+    std::vector<double> src(n * n);
+    std::iota(src.begin(), src.end(), 0.0);
+    BlockedZMatrix<double> m(n, 8);
+    m.fromRowMajor(src.data());
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t j = 0; j < n; ++j)
+            EXPECT_DOUBLE_EQ(m.at(i, j), src[i * n + j]);
+    std::vector<double> dst(n * n, -1.0);
+    m.toRowMajor(dst.data());
+    EXPECT_EQ(src, dst);
+}
+
+TEST(BlockedZMatrix, BindBlocksPartitionsZOrder)
+{
+    PageMap pm(4);
+    NumaArena arena(pm);
+    BlockedZMatrix<double> m(64, 32); // 4 blocks, one per socket quadrant
+    m.bindBlocksToSockets(arena, 4);
+    EXPECT_EQ(pm.homeOf(reinterpret_cast<uint64_t>(m.blockPtr(0, 0))), 0);
+    EXPECT_EQ(pm.homeOf(reinterpret_cast<uint64_t>(m.blockPtr(0, 1))), 1);
+    EXPECT_EQ(pm.homeOf(reinterpret_cast<uint64_t>(m.blockPtr(1, 0))), 2);
+    EXPECT_EQ(pm.homeOf(reinterpret_cast<uint64_t>(m.blockPtr(1, 1))), 3);
+}
+
+TEST(RowMajorMatrix, BasicIndexing)
+{
+    RowMajorMatrix<int> m(4);
+    m.at(2, 3) = 42;
+    EXPECT_EQ(m.data()[2 * 4 + 3], 42);
+}
+
+} // namespace
+} // namespace numaws

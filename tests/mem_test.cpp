@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Memory substrate tests: page map interval semantics, the NUMA arena's
+ * placement policies, LLC hit/miss behaviour, and latency ordering
+ * (local LLC < local DRAM < remote DRAM, growing with hops).
+ */
+#include <gtest/gtest.h>
+
+#include "mem/latency_model.h"
+#include "mem/llc_model.h"
+#include "mem/numa_arena.h"
+#include "mem/page_map.h"
+
+namespace numaws {
+namespace {
+
+TEST(PageMap, UnknownAddressDefaultsToSocketZero)
+{
+    PageMap pm(4);
+    EXPECT_EQ(pm.homeOf(0x123456), 0);
+}
+
+TEST(PageMap, SingleRangeResolves)
+{
+    PageMap pm(4);
+    pm.registerRange(0x10000, 0x4000, PagePolicy::Single, 2);
+    EXPECT_EQ(pm.homeOf(0x10000), 2);
+    EXPECT_EQ(pm.homeOf(0x13fff), 2);
+    EXPECT_EQ(pm.homeOf(0x14000), 0); // past the end
+    EXPECT_EQ(pm.homeOf(0x0ffff), 0); // before the start
+}
+
+TEST(PageMap, InterleavedRoundRobinsPages)
+{
+    PageMap pm(4);
+    pm.registerRange(0x100000, 8 * kPageBytes, PagePolicy::Interleaved);
+    for (uint64_t page = 0; page < 8; ++page)
+        EXPECT_EQ(pm.homeOf(0x100000 + page * kPageBytes + 17),
+                  static_cast<int>(page % 4));
+}
+
+TEST(PageMap, ReRegistrationSplitsExisting)
+{
+    PageMap pm(4);
+    pm.registerRange(0x10000, 0x8000, PagePolicy::Single, 1);
+    // Re-home the middle.
+    pm.registerRange(0x12000, 0x2000, PagePolicy::Single, 3);
+    EXPECT_EQ(pm.homeOf(0x10000), 1);
+    EXPECT_EQ(pm.homeOf(0x12000), 3);
+    EXPECT_EQ(pm.homeOf(0x13fff), 3);
+    EXPECT_EQ(pm.homeOf(0x14000), 1);
+    EXPECT_EQ(pm.homeOf(0x17fff), 1);
+}
+
+TEST(NumaArena, AllocOnSocketHomesWholeBlock)
+{
+    PageMap pm(4);
+    NumaArena arena(pm);
+    void *p = arena.allocOnSocket(10 * kPageBytes, 3);
+    ASSERT_NE(p, nullptr);
+    const auto base = reinterpret_cast<uint64_t>(p);
+    for (uint64_t off = 0; off < 10 * kPageBytes; off += kPageBytes)
+        EXPECT_EQ(pm.homeOf(base + off), 3);
+    arena.free(p);
+    EXPECT_EQ(pm.homeOf(base), 0);
+}
+
+TEST(NumaArena, PartitionedSplitsAcrossSockets)
+{
+    PageMap pm(4);
+    NumaArena arena(pm);
+    const std::size_t bytes = 16 * kPageBytes;
+    void *p = arena.allocPartitioned(bytes, 4);
+    const auto base = reinterpret_cast<uint64_t>(p);
+    EXPECT_EQ(pm.homeOf(base), 0);
+    EXPECT_EQ(pm.homeOf(base + 5 * kPageBytes), 1);
+    EXPECT_EQ(pm.homeOf(base + 9 * kPageBytes), 2);
+    EXPECT_EQ(pm.homeOf(base + 15 * kPageBytes), 3);
+    arena.free(p);
+}
+
+TEST(NumaArena, InterleavedAlternatesPages)
+{
+    PageMap pm(2);
+    NumaArena arena(pm);
+    void *p = arena.allocInterleaved(4 * kPageBytes);
+    const auto base = reinterpret_cast<uint64_t>(p);
+    EXPECT_EQ(pm.homeOf(base), 0);
+    EXPECT_EQ(pm.homeOf(base + kPageBytes), 1);
+    EXPECT_EQ(pm.homeOf(base + 2 * kPageBytes), 0);
+    arena.free(p);
+}
+
+TEST(LlcModel, MissThenHit)
+{
+    LlcModel llc(1 << 20, 4096, 8);
+    EXPECT_FALSE(llc.access(0x1000));
+    EXPECT_TRUE(llc.access(0x1000));
+    EXPECT_TRUE(llc.access(0x1fff)); // same granule
+    EXPECT_FALSE(llc.access(0x2000)); // next granule
+    EXPECT_EQ(llc.hits(), 2u);
+    EXPECT_EQ(llc.misses(), 2u);
+}
+
+TEST(LlcModel, CapacityEviction)
+{
+    // 64 KB cache of 4 KB granules = 16 entries; stream 64 distinct
+    // granules twice: the second pass must still miss (LRU evicted them).
+    LlcModel llc(64 << 10, 4096, 8);
+    for (int pass = 0; pass < 2; ++pass)
+        for (uint64_t g = 0; g < 64; ++g)
+            llc.access(g * 4096);
+    EXPECT_EQ(llc.hits(), 0u);
+    EXPECT_EQ(llc.misses(), 128u);
+}
+
+TEST(LlcModel, WorkingSetWithinCapacityHits)
+{
+    LlcModel llc(1 << 20, 4096, 8); // 256 entries
+    for (int pass = 0; pass < 3; ++pass)
+        for (uint64_t g = 0; g < 64; ++g)
+            llc.access(g * 4096);
+    // First pass misses, later passes hit.
+    EXPECT_EQ(llc.misses(), 64u);
+    EXPECT_EQ(llc.hits(), 128u);
+}
+
+TEST(LlcModel, ClearDropsContents)
+{
+    LlcModel llc(1 << 20);
+    llc.access(0);
+    llc.clear();
+    EXPECT_FALSE(llc.contains(0));
+    EXPECT_EQ(llc.hits(), 0u);
+}
+
+TEST(LatencyModel, OrderingMatchesPaperProse)
+{
+    const LatencyModel lat;
+    // "tens of cycles (local LLC), over a hundred (local DRAM), a few
+    // hundreds (remote DRAM)".
+    EXPECT_LT(lat.lineCost(true, 0), 100.0);
+    EXPECT_GT(lat.lineCost(false, 0), 100.0);
+    EXPECT_GT(lat.lineCost(false, 1), lat.lineCost(false, 0));
+    EXPECT_GT(lat.lineCost(false, 2), lat.lineCost(false, 1));
+}
+
+TEST(LatencyModel, ClassifiesAccessLevels)
+{
+    const LatencyModel lat;
+    EXPECT_EQ(lat.classify(true, 2), AccessLevel::LocalLlc);
+    EXPECT_EQ(lat.classify(false, 0), AccessLevel::LocalDram);
+    EXPECT_EQ(lat.classify(false, 1), AccessLevel::RemoteDram);
+}
+
+} // namespace
+} // namespace numaws

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Threaded runtime tests: fork-join correctness, nesting, exceptions,
+ * parallel_for semantics, repeated runs, and work-stealing liveness.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/api.h"
+#include "workloads/workloads.h"
+
+namespace numaws {
+namespace {
+
+RuntimeOptions
+smallOptions(int workers, int places = 1)
+{
+    RuntimeOptions o;
+    o.numWorkers = workers;
+    o.numPlaces = places;
+    return o;
+}
+
+TEST(Runtime, RunsRootToCompletion)
+{
+    Runtime rt(smallOptions(2));
+    int x = 0;
+    rt.run([&] { x = 42; });
+    EXPECT_EQ(x, 42);
+}
+
+TEST(Runtime, RepeatedRunsWork)
+{
+    Runtime rt(smallOptions(2));
+    int total = 0;
+    for (int i = 0; i < 20; ++i)
+        rt.run([&] { ++total; });
+    EXPECT_EQ(total, 20);
+}
+
+TEST(Runtime, SingleWorkerExecutesEverything)
+{
+    Runtime rt(smallOptions(1));
+    EXPECT_EQ(workloads::fibParallel(rt, 20, 5),
+              workloads::fibSerial(20));
+}
+
+TEST(Runtime, FibMatchesSerial)
+{
+    Runtime rt(smallOptions(4));
+    EXPECT_EQ(workloads::fibParallel(rt, 24, 10),
+              workloads::fibSerial(24));
+}
+
+TEST(Runtime, SpawnsActuallyRunConcurrentTasks)
+{
+    Runtime rt(smallOptions(2));
+    std::atomic<int> count{0};
+    rt.run([&] {
+        TaskGroup tg;
+        for (int i = 0; i < 100; ++i)
+            tg.spawn([&] { count.fetch_add(1); });
+        tg.sync();
+    });
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Runtime, NestedGroups)
+{
+    Runtime rt(smallOptions(3));
+    std::atomic<int> leaves{0};
+    rt.run([&] {
+        TaskGroup outer;
+        for (int i = 0; i < 8; ++i) {
+            outer.spawn([&] {
+                TaskGroup inner;
+                for (int j = 0; j < 8; ++j)
+                    inner.spawn([&] { leaves.fetch_add(1); });
+                inner.sync();
+            });
+        }
+        outer.sync();
+    });
+    EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(Runtime, GroupDestructorSyncs)
+{
+    Runtime rt(smallOptions(2));
+    std::atomic<int> done{0};
+    rt.run([&] {
+        {
+            TaskGroup tg;
+            for (int i = 0; i < 16; ++i)
+                tg.spawn([&] { done.fetch_add(1); });
+            // no explicit sync: the destructor must wait
+        }
+        EXPECT_EQ(done.load(), 16);
+    });
+}
+
+TEST(Runtime, ExceptionPropagatesFromSpawnedTask)
+{
+    Runtime rt(smallOptions(2));
+    EXPECT_THROW(
+        rt.run([&] {
+            TaskGroup tg;
+            tg.spawn([] { throw std::runtime_error("boom"); });
+            tg.sync();
+        }),
+        std::runtime_error);
+}
+
+TEST(Runtime, ExceptionFromRootPropagates)
+{
+    Runtime rt(smallOptions(2));
+    EXPECT_THROW(rt.run([] { throw std::logic_error("root"); }),
+                 std::logic_error);
+    // The runtime stays usable afterwards.
+    int x = 0;
+    rt.run([&] { x = 1; });
+    EXPECT_EQ(x, 1);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce)
+{
+    Runtime rt(smallOptions(4));
+    std::vector<std::atomic<int>> hits(1000);
+    rt.run([&] {
+        parallelFor(0, 1000, 16, [&](int64_t i) { hits[i].fetch_add(1); });
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges)
+{
+    Runtime rt(smallOptions(2));
+    std::atomic<int> count{0};
+    rt.run([&] {
+        parallelFor(5, 5, 4, [&](int64_t) { count.fetch_add(1); });
+        parallelFor(5, 6, 4, [&](int64_t) { count.fetch_add(1); });
+    });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForPlaces, CoversRange)
+{
+    Runtime rt(smallOptions(4, 2));
+    std::vector<std::atomic<int>> hits(512);
+    rt.run([&] {
+        parallelForPlaces(0, 512, 8,
+                          [&](int64_t lo, int64_t hi) {
+                              for (int64_t i = lo; i < hi; ++i)
+                                  hits[i].fetch_add(1);
+                          });
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ChunkOf, PartitionsEvenly)
+{
+    int64_t covered = 0;
+    for (int c = 0; c < 7; ++c) {
+        const RangeChunk rc = chunkOf(100, 7, c);
+        covered += rc.end - rc.begin;
+        EXPECT_LE(rc.end - rc.begin, 15);
+        EXPECT_GE(rc.end - rc.begin, 14);
+    }
+    EXPECT_EQ(covered, 100);
+    EXPECT_EQ(chunkOf(100, 7, 0).begin, 0);
+    EXPECT_EQ(chunkOf(100, 7, 6).end, 100);
+}
+
+TEST(Runtime, StatsCountSpawnsAndTasks)
+{
+    Runtime rt(smallOptions(2));
+    rt.resetStats();
+    rt.run([&] {
+        TaskGroup tg;
+        for (int i = 0; i < 50; ++i)
+            tg.spawn([] {});
+        tg.sync();
+    });
+    const RuntimeStats s = rt.stats();
+    EXPECT_EQ(s.counters.spawns, 50u);
+    // 50 spawned tasks + 1 root.
+    EXPECT_EQ(s.counters.tasksExecuted, 51u);
+}
+
+TEST(Runtime, ApiQueriesInsideAndOutside)
+{
+    EXPECT_EQ(currentPlace(), kAnyPlace);
+    EXPECT_EQ(currentRuntime(), nullptr);
+    Runtime rt(smallOptions(4, 2));
+    rt.run([&] {
+        EXPECT_EQ(numPlaces(), 2);
+        EXPECT_NE(currentRuntime(), nullptr);
+        EXPECT_GE(currentPlace(), 0);
+    });
+}
+
+TEST(Runtime, ManySmallRunsDoNotLeakWork)
+{
+    Runtime rt(smallOptions(3));
+    for (int round = 0; round < 30; ++round) {
+        std::atomic<int> n{0};
+        rt.run([&] {
+            TaskGroup tg;
+            for (int i = 0; i < 20; ++i)
+                tg.spawn([&] { n.fetch_add(1); });
+            tg.sync();
+        });
+        ASSERT_EQ(n.load(), 20) << "round " << round;
+    }
+}
+
+} // namespace
+} // namespace numaws

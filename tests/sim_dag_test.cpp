@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Computation-dag builder tests: structure, implicit syncs, work/span
+ * arithmetic, and region home resolution.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/dag.h"
+
+namespace numaws::sim {
+namespace {
+
+TEST(DagBuilder, SingleStrandRoot)
+{
+    DagBuilder b;
+    b.beginRoot();
+    b.strand(100.0, {});
+    b.end();
+    const ComputationDag dag = b.finish();
+    EXPECT_EQ(dag.numFrames(), 1u);
+    EXPECT_EQ(dag.numStrands(), 1u);
+    const WorkSpan ws = dag.workSpan();
+    EXPECT_DOUBLE_EQ(ws.work, 100.0);
+    EXPECT_DOUBLE_EQ(ws.span, 100.0);
+}
+
+TEST(DagBuilder, SpawnCreatesParallelism)
+{
+    DagBuilder b;
+    b.beginRoot();
+    b.spawn(kAnyPlace);
+    b.strand(50.0, {});
+    b.end();
+    b.strand(50.0, {});
+    b.sync();
+    b.end();
+    const ComputationDag dag = b.finish();
+    const WorkSpan ws = dag.workSpan();
+    EXPECT_DOUBLE_EQ(ws.work, 100.0);
+    EXPECT_DOUBLE_EQ(ws.span, 50.0); // the two strands overlap
+}
+
+TEST(DagBuilder, ImplicitSyncAtFrameEnd)
+{
+    DagBuilder b;
+    b.beginRoot();
+    b.spawn(kAnyPlace);
+    b.strand(10.0, {});
+    b.end();
+    // no explicit sync before end(): builder must insert one
+    b.end();
+    const ComputationDag dag = b.finish();
+    const Frame &root = dag.frame(dag.root());
+    EXPECT_EQ(dag.item(root.itemEnd - 1).kind, ItemKind::Sync);
+}
+
+TEST(DagBuilder, SequentialDependenceViaSync)
+{
+    DagBuilder b;
+    b.beginRoot();
+    b.spawn(kAnyPlace);
+    b.strand(30.0, {});
+    b.end();
+    b.sync(); // serialize
+    b.spawn(kAnyPlace);
+    b.strand(30.0, {});
+    b.end();
+    b.sync();
+    b.end();
+    const WorkSpan ws = b.finish().workSpan();
+    EXPECT_DOUBLE_EQ(ws.work, 60.0);
+    EXPECT_DOUBLE_EQ(ws.span, 60.0);
+}
+
+TEST(DagBuilder, SpawnSyncCostsAppearInWorkSpan)
+{
+    DagBuilder b;
+    b.beginRoot();
+    b.spawn(kAnyPlace);
+    b.strand(10.0, {});
+    b.end();
+    b.strand(10.0, {});
+    b.sync();
+    b.end();
+    const WorkSpan ws = b.finish().workSpan(5.0, 3.0);
+    // work = 2 strands + spawn + sync = 10+10+5+3.
+    EXPECT_DOUBLE_EQ(ws.work, 28.0);
+    // span = spawn + max(child, continuation) + sync = 5 + 10 + 3.
+    EXPECT_DOUBLE_EQ(ws.span, 18.0);
+}
+
+TEST(DagBuilder, ParentResumeItemPointsPastSpawn)
+{
+    DagBuilder b;
+    b.beginRoot();
+    b.strand(1.0, {});
+    b.spawn(kAnyPlace);
+    b.strand(2.0, {});
+    b.end();
+    b.strand(3.0, {});
+    b.sync();
+    b.end();
+    const ComputationDag dag = b.finish();
+    const Frame &root = dag.frame(0);
+    const Frame &child = dag.frame(1);
+    EXPECT_EQ(child.parent, 0);
+    // Root items: strand, spawn, strand, sync. Spawn at itemBegin+1 ->
+    // resume at itemBegin+2.
+    EXPECT_EQ(child.parentResumeItem, root.itemBegin + 2);
+    EXPECT_EQ(dag.item(child.parentResumeItem).kind, ItemKind::Strand);
+}
+
+TEST(DagBuilder, PlaceHintsRecorded)
+{
+    DagBuilder b;
+    b.beginRoot();
+    b.spawn(Place{2});
+    b.strand(1.0, {});
+    b.end();
+    b.end();
+    const ComputationDag dag = b.finish();
+    EXPECT_EQ(dag.frame(1).place, 2);
+    EXPECT_EQ(dag.frame(0).place, kAnyPlace);
+}
+
+TEST(Regions, HomeResolutionPerPolicy)
+{
+    DagBuilder b;
+    const RegionId single = b.region("s", 1 << 20, RegionPolicy::Single, 2);
+    const RegionId inter = b.region("i", 1 << 20,
+                                    RegionPolicy::Interleaved);
+    const RegionId part = b.region("p", 1 << 20,
+                                   RegionPolicy::Partitioned);
+    const RegionId custom = b.regionCustom(
+        "c", 1 << 20, [](uint64_t off) { return off < 512 ? 1 : 3; });
+    b.beginRoot();
+    b.strand(1.0, {});
+    b.end();
+    const ComputationDag dag = b.finish();
+
+    EXPECT_EQ(dag.homeOf(single, 0, 4), 2);
+    EXPECT_EQ(dag.homeOf(single, 0, 2), 0); // clamped when out of range
+
+    EXPECT_EQ(dag.homeOf(inter, 0, 4), 0);
+    EXPECT_EQ(dag.homeOf(inter, 4096, 4), 1);
+    EXPECT_EQ(dag.homeOf(inter, 4 * 4096, 4), 0);
+
+    EXPECT_EQ(dag.homeOf(part, 0, 4), 0);
+    EXPECT_EQ(dag.homeOf(part, (1 << 20) - 1, 4), 3);
+    EXPECT_EQ(dag.homeOf(part, 1 << 19, 4), 2);
+
+    EXPECT_EQ(dag.homeOf(custom, 0, 4), 1);
+    EXPECT_EQ(dag.homeOf(custom, 600, 4), 3);
+}
+
+TEST(Regions, DistinctBasesWithGuardGap)
+{
+    DagBuilder b;
+    b.region("a", 100, RegionPolicy::Single, 0);
+    b.region("b", 100, RegionPolicy::Single, 0);
+    b.beginRoot();
+    b.strand(1.0, {});
+    b.end();
+    const ComputationDag dag = b.finish();
+    EXPECT_GT(dag.region(1).base,
+              dag.region(0).base + dag.region(0).bytes);
+}
+
+TEST(Dag, AccessBoundsValidated)
+{
+    DagBuilder b;
+    const RegionId r = b.region("r", 1024, RegionPolicy::Single, 0);
+    b.beginRoot();
+    b.strand(1.0, {{r, 0, 1024}}); // exactly at the bound: fine
+    b.end();
+    EXPECT_EQ(b.finish().numStrands(), 1u);
+}
+
+} // namespace
+} // namespace numaws::sim

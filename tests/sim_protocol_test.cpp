@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Protocol-level tests of the simulated scheduler against the paper's
+ * Figures 2 and 5: shadow vs full frames (trivial vs nontrivial syncs),
+ * suspension and CHECK_PARENT resumption, mailbox outcomes, the coin
+ * flip, and the pushing threshold.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+
+namespace numaws::sim {
+namespace {
+
+/** Dag with one long child and a short continuation: guarantees a steal
+ * and an unsuccessful nontrivial sync (parent must suspend). */
+ComputationDag
+suspendingDag()
+{
+    DagBuilder b;
+    b.beginRoot();
+    b.spawn(kAnyPlace);
+    b.strand(100000.0, {}); // long child keeps the victim busy
+    b.end();
+    b.strand(10.0, {}); // stolen continuation finishes immediately
+    b.sync();           // thief must suspend here
+    b.strand(10.0, {}); // resumed after the child returns
+    b.end();
+    return b.finish();
+}
+
+TEST(SimProtocol, UnsuccessfulSyncSuspendsAndResumes)
+{
+    const SimResult r = simulate(suspendingDag(), Machine::paperMachine(),
+                                 2, SimConfig::classicWs());
+    EXPECT_GE(r.counters.steals, 1u);
+    EXPECT_GE(r.counters.nontrivialSyncs, 1u);
+    EXPECT_GE(r.counters.suspensions, 1u);
+    EXPECT_GE(r.counters.resumes, 1u);
+    EXPECT_EQ(r.counters.strandsExecuted, 3u);
+}
+
+TEST(SimProtocol, NoStealMeansOnlyTrivialSyncs)
+{
+    const SimResult r = simulate(suspendingDag(), Machine::paperMachine(),
+                                 1, SimConfig::classicWs());
+    EXPECT_EQ(r.counters.steals, 0u);
+    EXPECT_EQ(r.counters.nontrivialSyncs, 0u);
+    EXPECT_EQ(r.counters.suspensions, 0u);
+    EXPECT_GE(r.counters.trivialSyncs, 1u);
+}
+
+/**
+ * Wide dag whose hinted children contain internal spawn structure.
+ *
+ * With continuation stealing, a freshly spawned child always executes on
+ * the spawning worker (Section III-A states this explicitly), so a hinted
+ * *leaf* frame never migrates. Hints take effect when a hinted frame's
+ * continuation is stolen — then the stolen full frame carries the place
+ * and gets pushed toward its socket. Children therefore need spawns of
+ * their own.
+ */
+ComputationDag
+hintedWideDag(Place place, int leaves)
+{
+    DagBuilder b;
+    b.beginRoot();
+    for (int i = 0; i < leaves; ++i) {
+        b.spawn(place);
+        for (int k = 0; k < 4; ++k) {
+            b.spawn(); // inherits `place`
+            b.strand(5000.0, {});
+            b.end();
+        }
+        b.strand(1000.0, {});
+        b.sync();
+        b.end();
+    }
+    b.sync();
+    b.end();
+    return b.finish();
+}
+
+TEST(SimProtocol, HintedFramesArePushedToTheirSocket)
+{
+    // Root runs on socket 0; every spawn is earmarked for socket 2.
+    // Thieves that steal these frames must push them toward socket 2.
+    SimConfig cfg = SimConfig::numaWs();
+    const SimResult r = simulate(hintedWideDag(2, 64),
+                                 Machine::paperMachine(), 32, cfg);
+    EXPECT_GT(r.counters.pushAttempts, 0u);
+    EXPECT_GT(r.counters.pushSuccesses, 0u);
+    EXPECT_GT(r.counters.mailboxPops + r.counters.mailboxSteals, 0u);
+}
+
+TEST(SimProtocol, PushingThresholdCapsAttemptsPerFrame)
+{
+    SimConfig cfg = SimConfig::numaWs();
+    cfg.pushThreshold = 1;
+    const SimResult r1 = simulate(hintedWideDag(2, 64),
+                                  Machine::paperMachine(), 32, cfg);
+    cfg.pushThreshold = 8;
+    const SimResult r8 = simulate(hintedWideDag(2, 64),
+                                  Machine::paperMachine(), 32, cfg);
+    // Larger threshold permits more attempts in the worst case; with
+    // threshold 1 every frame gives up after one failed attempt.
+    EXPECT_LE(r1.counters.pushAttempts,
+              r1.counters.steals + r1.counters.mailboxSteals
+                  + r1.counters.nontrivialSyncs + r1.counters.resumes
+                  + 64u);
+    EXPECT_GE(r8.counters.pushAttempts, r1.counters.pushAttempts / 4);
+}
+
+TEST(SimProtocol, MailboxesOffDisablesPushing)
+{
+    SimConfig cfg = SimConfig::numaWs();
+    cfg.useMailboxes = false;
+    const SimResult r = simulate(hintedWideDag(2, 64),
+                                 Machine::paperMachine(), 32, cfg);
+    EXPECT_EQ(r.counters.pushAttempts, 0u);
+    EXPECT_EQ(r.counters.mailboxPops, 0u);
+    EXPECT_EQ(r.counters.strandsExecuted, 320u); // still completes
+}
+
+TEST(SimProtocol, CoinFlipOffStillCompletes)
+{
+    SimConfig cfg = SimConfig::numaWs();
+    cfg.coinFlip = false; // ablation: always inspect the mailbox first
+    const SimResult r = simulate(hintedWideDag(2, 64),
+                                 Machine::paperMachine(), 32, cfg);
+    EXPECT_EQ(r.counters.strandsExecuted, 320u);
+}
+
+TEST(SimProtocol, UnsatisfiableHintIsIgnored)
+{
+    // Hint at socket 3 while only sockets 0-1 have cores: the place
+    // check must treat the hint as unsatisfiable, not push forever.
+    const SimResult r = simulate(hintedWideDag(3, 32),
+                                 Machine::paperMachineSubset(16), 16,
+                                 SimConfig::numaWs());
+    EXPECT_EQ(r.counters.strandsExecuted, 160u);
+    EXPECT_EQ(r.counters.pushAttempts, 0u);
+}
+
+TEST(SimProtocol, DeepSequentialChainNoParallelism)
+{
+    // span == work: any P must take ~T1 and steal nothing useful.
+    DagBuilder b;
+    b.beginRoot();
+    for (int i = 0; i < 200; ++i)
+        b.strand(100.0, {});
+    b.end();
+    const ComputationDag dag = b.finish();
+    const SimResult r =
+        simulate(dag, Machine::paperMachine(), 8, SimConfig::classicWs());
+    EXPECT_EQ(r.counters.steals, 0u);
+    EXPECT_GE(r.elapsedCycles, 20000.0);
+}
+
+TEST(SimProtocol, EveryStrandRunsExactlyOnceUnderChaos)
+{
+    // Deep, irregular, hinted dag under every policy knob combination:
+    // strand conservation is the master invariant.
+    DagBuilder b;
+    b.beginRoot();
+    auto rec = [&](auto &&self, int d) -> void {
+        if (d == 0) {
+            b.strand(50.0, {});
+            return;
+        }
+        b.spawn(static_cast<Place>(d % 4));
+        self(self, d - 1);
+        b.end();
+        b.strand(25.0, {});
+        if (d % 2 == 0)
+            b.sync();
+        b.spawn(kAnyPlace);
+        self(self, d - 1);
+        b.end();
+        b.sync();
+    };
+    rec(rec, 9);
+    b.end();
+    const ComputationDag dag = b.finish();
+    const uint64_t strands = dag.numStrands();
+
+    for (bool mailboxes : {false, true})
+        for (bool coin : {false, true})
+            for (bool bias : {false, true}) {
+                SimConfig cfg;
+                cfg.useMailboxes = mailboxes;
+                cfg.coinFlip = coin;
+                cfg.biasedSteals = bias;
+                const SimResult r =
+                    simulate(dag, Machine::paperMachine(), 32, cfg);
+                ASSERT_EQ(r.counters.strandsExecuted, strands)
+                    << "mailboxes=" << mailboxes << " coin=" << coin
+                    << " bias=" << bias;
+            }
+}
+
+} // namespace
+} // namespace numaws::sim
