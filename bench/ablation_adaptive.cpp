@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Ablation of the adaptive extensions against the paper's constant knobs,
+ * on BOTH engines: the discrete-event simulator (deterministic, the
+ * authoritative comparison) and the threaded runtime (host wall clock).
+ *
+ * The grid is {constant, adaptive push policy} x {flat, hierarchical
+ * victim selection}; the hierarchical rows also enable remote steal-half
+ * batching (it only fires on remote-level victims, which only the
+ * hierarchical search distinguishes deliberately). Workloads are fib
+ * (spawn-bound, no locality), matmul with the blocked Z-Morton layout
+ * (the paper's locality showcase), and heat (iteration-repeated hints).
+ *
+ *   ./ablation_adaptive [--scale=0.25] [--cores=32] [--threads=4]
+ *                       [--json=BENCH_adaptive.json] [--skip-threaded]
+ *
+ * Emits every row into the JSON report consumed by CI as a build
+ * artifact, and exits nonzero if the adaptive/hierarchical configuration
+ * is slower than the constant baseline on the simulated matmul layout
+ * workload (the acceptance gate for this subsystem).
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "support/timing.h"
+
+using namespace numaws;
+using namespace numaws::bench;
+using namespace numaws::workloads;
+
+namespace {
+
+struct Variant
+{
+    const char *policy;  ///< "constant" | "adaptive"
+    const char *victims; ///< "flat" | "hierarchical"
+
+    bool adaptivePush() const { return policy[0] == 'a'; }
+    bool hierarchical() const { return victims[0] == 'h'; }
+
+    sim::SimConfig
+    simConfig() const
+    {
+        sim::SimConfig c = sim::SimConfig::numaWs();
+        if (adaptivePush())
+            c.pushPolicy.kind = PushPolicyKind::Adaptive;
+        if (hierarchical()) {
+            c.hierarchicalSteals = true;
+            c.remoteStealHalf = true;
+        }
+        return c;
+    }
+
+    RuntimeOptions
+    runtimeOptions(int workers) const
+    {
+        RuntimeOptions o;
+        o.numWorkers = workers;
+        o.numPlaces = workers >= 4 ? 4 : (workers >= 2 ? 2 : 1);
+        if (adaptivePush())
+            o.pushPolicy.kind = PushPolicyKind::Adaptive;
+        if (hierarchical()) {
+            o.hierarchicalSteals = true;
+            o.remoteStealHalf = true;
+        }
+        return o;
+    }
+
+    std::string
+    name() const
+    {
+        return std::string(policy) + "/" + victims;
+    }
+};
+
+const Variant kVariants[] = {
+    {"constant", "flat"},
+    {"adaptive", "flat"},
+    {"constant", "hierarchical"},
+    {"adaptive", "hierarchical"},
+};
+
+/** One simulated workload: name + dag builder at bench scale. */
+struct SimCase
+{
+    std::string name;
+    sim::ComputationDag dag;
+};
+
+std::vector<SimCase>
+buildSimCases(double scale, int cores)
+{
+    const int places = socketsFor(cores);
+    std::vector<SimCase> cases;
+
+    const int fib_n = scale >= 1.0 ? 30 : (scale >= 0.5 ? 27 : 24);
+    cases.push_back({"fib", fibDag(fib_n)});
+
+    MatmulParams mm;
+    mm.n = scale >= 1.0 ? 1024 : (scale >= 0.5 ? 512 : 256);
+    mm.block = 64;
+    mm.zLayout = true; // the matmul *layout* workload (hints + Z-Morton)
+    cases.push_back({"matmul_layout",
+                     matmulDag(mm, places, Placement::Partitioned, true)});
+
+    HeatParams heat;
+    heat.nx = scale >= 1.0 ? 2048 : (scale >= 0.5 ? 1024 : 512);
+    heat.ny = heat.nx;
+    heat.steps = scale >= 1.0 ? 16 : 8;
+    cases.push_back(
+        {"heat", heatDag(heat, places, Placement::Partitioned, true)});
+
+    return cases;
+}
+
+void
+simRow(JsonReport &report, Table &table, const SimCase &sc, int cores,
+       const Variant &v, double &matmul_constant, double &matmul_adaptive)
+{
+    sim::SimConfig cfg = v.simConfig();
+    const sim::SimResult r = sim::simulatePacked(sc.dag, cores, cfg);
+
+    JsonRow row;
+    row.set("engine", "sim")
+        .set("workload", sc.name)
+        .set("policy", v.policy)
+        .set("victims", v.victims)
+        .set("cores", cores)
+        .set("elapsed_s", r.elapsedSeconds)
+        .set("work_s", r.workSeconds)
+        .set("sched_s", r.schedSeconds)
+        .set("idle_s", r.idleSeconds)
+        .set("steals", r.counters.steals)
+        .set("steal_attempts", r.counters.stealAttempts)
+        .set("push_successes", r.counters.pushSuccesses)
+        .set("push_give_ups", r.counters.pushGiveUps)
+        .set("batched_steals", r.counters.batchedSteals)
+        .set("batched_frames", r.counters.batchedFrames)
+        .set("remote_fraction", r.memory.remoteFraction());
+    report.addRow(row);
+
+    table.addRow({v.name(), Table::fmtSeconds(r.elapsedSeconds),
+                  Table::fmtSeconds(r.idleSeconds),
+                  std::to_string(r.counters.steals),
+                  std::to_string(r.counters.pushSuccesses),
+                  std::to_string(r.counters.batchedFrames),
+                  Table::fmtRatio(r.memory.remoteFraction())});
+
+    if (sc.name == "matmul_layout") {
+        if (!v.adaptivePush() && !v.hierarchical())
+            matmul_constant = r.elapsedSeconds;
+        if (v.adaptivePush() && v.hierarchical())
+            matmul_adaptive = r.elapsedSeconds;
+    }
+}
+
+void
+threadedRows(JsonReport &report, double scale, int workers)
+{
+    const int fib_n = scale >= 1.0 ? 30 : (scale >= 0.5 ? 24 : 20);
+
+    MatmulParams mm;
+    mm.n = scale >= 1.0 ? 512 : 128;
+    mm.block = 32;
+    std::vector<double> a(static_cast<std::size_t>(mm.n) * mm.n, 1.0);
+    std::vector<double> b(a.size(), 2.0);
+    std::vector<double> c(a.size(), 0.0);
+
+    HeatParams heat;
+    heat.nx = scale >= 1.0 ? 1024 : 256;
+    heat.ny = heat.nx;
+    heat.steps = 4;
+    std::vector<double> ha(
+        static_cast<std::size_t>(heat.nx) * heat.ny, 0.0);
+    std::vector<double> hb(ha.size(), 0.0);
+
+    for (const Variant &v : kVariants) {
+        Runtime rt(v.runtimeOptions(workers));
+
+        struct Run
+        {
+            const char *workload;
+            double seconds;
+        };
+        std::vector<Run> runs;
+
+        {
+            WallTimer t;
+            fibParallel(rt, fib_n);
+            runs.push_back({"fib", t.seconds()});
+        }
+        {
+            std::fill(c.begin(), c.end(), 0.0);
+            WallTimer t;
+            matmulParallel(rt, a.data(), b.data(), c.data(), mm, true);
+            runs.push_back({"matmul_layout", t.seconds()});
+        }
+        {
+            WallTimer t;
+            heatParallel(rt, ha.data(), hb.data(), heat, true);
+            runs.push_back({"heat", t.seconds()});
+        }
+
+        const RuntimeStats stats = rt.stats();
+        for (const Run &run : runs) {
+            JsonRow row;
+            row.set("engine", "threaded")
+                .set("workload", run.workload)
+                .set("policy", v.policy)
+                .set("victims", v.victims)
+                .set("workers", workers)
+                .set("elapsed_s", run.seconds);
+            report.addRow(row);
+        }
+        std::printf("  threaded %-22s fib %.3fs  matmul %.3fs  heat %.3fs"
+                    "  (steals %llu, pushes %llu, batched %llu)\n",
+                    v.name().c_str(), runs[0].seconds, runs[1].seconds,
+                    runs[2].seconds,
+                    static_cast<unsigned long long>(stats.counters.steals),
+                    static_cast<unsigned long long>(
+                        stats.counters.pushbackSuccesses),
+                    static_cast<unsigned long long>(
+                        stats.counters.stealHalfTasks));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const BenchArgs args(cli);
+    const int threads = static_cast<int>(cli.getInt("threads", 4));
+    const std::string json_path =
+        cli.getString("json", "BENCH_adaptive.json");
+    const bool skip_threaded = cli.getBool("skip-threaded", false);
+
+    JsonReport report;
+    double matmul_constant = 0.0;
+    double matmul_adaptive = 0.0;
+
+    for (const SimCase &sc : buildSimCases(args.scale, args.cores)) {
+        if (!args.only.empty() && args.only != sc.name)
+            continue;
+        std::printf("\nSimulated %s, %d cores:\n", sc.name.c_str(),
+                    args.cores);
+        Table t({"configuration", "T", "idle", "steals", "pushes",
+                 "batched", "remote%"});
+        for (const Variant &v : kVariants)
+            simRow(report, t, sc, args.cores, v, matmul_constant,
+                   matmul_adaptive);
+        t.print();
+    }
+
+    if (!skip_threaded && args.only.empty()) {
+        std::printf("\nThreaded runtime, %d workers:\n", threads);
+        threadedRows(report, args.scale, threads);
+    }
+
+    report.writeFile(json_path);
+    std::printf("\nwrote %zu rows to %s\n", report.numRows(),
+                json_path.c_str());
+
+    // Acceptance gate: the full adaptive configuration must not lose to
+    // the paper's constant baseline on the simulated matmul layout
+    // workload (small tolerance for cost-model noise).
+    if (matmul_constant > 0.0 && matmul_adaptive > 0.0) {
+        const double ratio = matmul_adaptive / matmul_constant;
+        std::printf("matmul_layout adaptive/constant = %.4f\n", ratio);
+        if (ratio > 1.005) {
+            std::printf("FAIL: adaptive configuration is slower\n");
+            return 1;
+        }
+    }
+    return 0;
+}

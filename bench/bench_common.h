@@ -14,10 +14,15 @@
 #ifndef NUMAWS_BENCH_BENCH_COMMON_H
 #define NUMAWS_BENCH_BENCH_COMMON_H
 
+#include <cstdio>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/scheduler.h"
 #include "support/cli.h"
+#include "support/panic.h"
 #include "support/table.h"
 #include "workloads/workloads.h"
 
@@ -90,6 +95,139 @@ runNumaWs(const SimWorkload &wl, int cores, uint64_t seed = 0x5eed)
     }
     return best;
 }
+
+/**
+ * One JSON object, insertion-ordered, for machine-readable bench output.
+ * Values are rendered on insertion; strings are escaped minimally
+ * (backslash, quote, control characters), numbers via %.17g so a row
+ * round-trips exactly.
+ */
+class JsonRow
+{
+  public:
+    JsonRow &
+    set(const std::string &key, const std::string &value)
+    {
+        _fields.emplace_back(key, quote(value));
+        return *this;
+    }
+
+    JsonRow &
+    set(const std::string &key, const char *value)
+    {
+        return set(key, std::string(value));
+    }
+
+    JsonRow &
+    set(const std::string &key, double value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        _fields.emplace_back(key, buf);
+        return *this;
+    }
+
+    JsonRow &
+    set(const std::string &key, int64_t value)
+    {
+        _fields.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    JsonRow &
+    set(const std::string &key, uint64_t value)
+    {
+        _fields.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    JsonRow &
+    set(const std::string &key, int value)
+    {
+        return set(key, static_cast<int64_t>(value));
+    }
+
+    JsonRow &
+    set(const std::string &key, bool value)
+    {
+        _fields.emplace_back(key, value ? "true" : "false");
+        return *this;
+    }
+
+    std::string
+    str() const
+    {
+        std::ostringstream out;
+        out << '{';
+        for (std::size_t i = 0; i < _fields.size(); ++i) {
+            if (i > 0)
+                out << ',';
+            out << quote(_fields[i].first) << ':' << _fields[i].second;
+        }
+        out << '}';
+        return out.str();
+    }
+
+  private:
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (const char ch : s) {
+            if (ch == '"' || ch == '\\') {
+                out += '\\';
+                out += ch;
+            } else if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+        out += '"';
+        return out;
+    }
+
+    std::vector<std::pair<std::string, std::string>> _fields;
+};
+
+/**
+ * Collects JsonRow objects and writes them as one JSON array, the format
+ * CI archives as a build artifact (e.g. BENCH_adaptive.json).
+ */
+class JsonReport
+{
+  public:
+    void addRow(const JsonRow &row) { _rows.push_back(row.str()); }
+
+    std::string
+    str() const
+    {
+        std::ostringstream out;
+        out << "[\n";
+        for (std::size_t i = 0; i < _rows.size(); ++i)
+            out << "  " << _rows[i] << (i + 1 < _rows.size() ? ",\n" : "\n");
+        out << "]\n";
+        return out.str();
+    }
+
+    void
+    writeFile(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            NUMAWS_FATAL("cannot open %s for writing", path.c_str());
+        const std::string body = str();
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+    }
+
+    std::size_t numRows() const { return _rows.size(); }
+
+  private:
+    std::vector<std::string> _rows;
+};
 
 /** Standard bench CLI: --scale=, --cores=, --workload= filter. */
 struct BenchArgs

@@ -12,6 +12,24 @@
  * Configuration knobs mirror the paper's mechanisms one-for-one so every
  * mechanism can be ablated: biased vs uniform victim selection, mailboxes
  * on/off, the pushing threshold, and the mailbox-vs-deque coin flip.
+ *
+ * On top of the paper's constant-knob mechanisms sit the adaptive
+ * extensions, each independently ablatable:
+ *  - hierarchicalSteals: victims are searched level-by-level through the
+ *    distance hierarchy (core -> place -> socket -> remote), widening one
+ *    level after stealEscalationFailures consecutive failed attempts and
+ *    snapping back on success (StealEscalation). At the outermost level
+ *    every victim is reachable, so a starving worker steals against any
+ *    place hint rather than idling.
+ *  - pushPolicy: the pushing threshold becomes pluggable (PushPolicy);
+ *    PushPolicyKind::Constant reproduces the paper, ::Adaptive widens the
+ *    threshold under own-deque pressure and tightens it when target
+ *    mailboxes keep rejecting deposits. pushThreshold stays the constant
+ *    value and the adaptive base.
+ *  - remoteStealHalf: a steal that lands on a remote-level victim (two or
+ *    more hops) takes up to half of its deque in one locked batch
+ *    (WsDeque::stealHalf), amortizing the cross-socket latency; extras go
+ *    to the thief's own deque, where they are again stealable.
  */
 #ifndef NUMAWS_RUNTIME_RUNTIME_H
 #define NUMAWS_RUNTIME_RUNTIME_H
@@ -28,6 +46,7 @@
 #include "deque/mailbox.h"
 #include "deque/ws_deque.h"
 #include "runtime/task.h"
+#include "sched/push_policy.h"
 #include "support/cache_aligned.h"
 #include "support/panic.h"
 #include "support/rng.h"
@@ -39,6 +58,9 @@
 namespace numaws {
 
 class Runtime;
+
+/** Hard cap on frames moved by one batched remote steal. */
+inline constexpr std::size_t kStealHalfCap = 16;
 
 /** Runtime construction parameters. */
 struct RuntimeOptions
@@ -52,8 +74,18 @@ struct RuntimeOptions
     BiasWeights biasWeights{};
     /** Lazy work pushing via mailboxes. */
     bool useMailboxes = true;
-    /** Constant pushing threshold (Section III-B). */
+    /** Constant pushing threshold (Section III-B); adaptive base. */
     int pushThreshold = 4;
+    /** Pushing-threshold policy (constant reproduces the paper). */
+    PushPolicyConfig pushPolicy{};
+    /** Hierarchical level-by-level victim search with escalation. */
+    bool hierarchicalSteals = false;
+    /** Consecutive failed steals per level before widening the search. */
+    int stealEscalationFailures = 2;
+    /** Steal-half batching for remote-level (>= two-hop) steals. */
+    bool remoteStealHalf = false;
+    /** Max frames one batched remote steal may move (clamped to 16). */
+    int stealHalfMax = 8;
     /** Pin worker threads to host CPUs (best effort). */
     bool pinThreads = false;
     /** Root seed; worker RNGs derive from it. */
@@ -74,6 +106,9 @@ struct WorkerCounters
     uint64_t pushbackGiveUps = 0; ///< threshold reached, ran it ourselves
     uint64_t tasksExecuted = 0;
     uint64_t tasksOnHintedPlace = 0; ///< hinted tasks run where hinted
+    uint64_t stealHalfBatches = 0;   ///< batched remote steals performed
+    uint64_t stealHalfTasks = 0;     ///< tasks moved by batched steals
+    uint64_t escalations = 0;        ///< hierarchical level widenings
 
     void merge(const WorkerCounters &o);
 };
@@ -161,6 +196,8 @@ class Worker
     Mailbox<TaskBase> &mailbox() { return _mailbox; }
     WsDeque<TaskBase> &deque() { return _deque; }
     Rng &rng() { return _rng; }
+    PushPolicy &pushPolicy() { return _pushPolicy; }
+    StealEscalation &escalation() { return _escalation; }
 
     /** @name Runtime-internal scheduling entry points */
     /// @{
@@ -206,6 +243,8 @@ class Worker
     Rng _rng;
     WsDeque<TaskBase> _deque;
     Mailbox<TaskBase> _mailbox;
+    PushPolicy _pushPolicy;
+    StealEscalation _escalation;
     WorkerCounters _counters;
     TimeSplit _time;
     TimeSplit::Bucket _bucket = TimeSplit::Idle;

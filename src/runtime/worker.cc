@@ -23,6 +23,9 @@ WorkerCounters::merge(const WorkerCounters &o)
     pushbackGiveUps += o.pushbackGiveUps;
     tasksExecuted += o.tasksExecuted;
     tasksOnHintedPlace += o.tasksOnHintedPlace;
+    stealHalfBatches += o.stealHalfBatches;
+    stealHalfTasks += o.stealHalfTasks;
+    escalations += o.escalations;
 }
 
 Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
@@ -32,6 +35,9 @@ Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
       _place(place),
       _rng(seed),
       _deque(deque_capacity),
+      _pushPolicy(runtime.options().pushThreshold,
+                  runtime.options().pushPolicy),
+      _escalation(runtime.options().stealEscalationFailures),
       _mark(nowNs())
 {}
 
@@ -73,7 +79,16 @@ Worker::trySteal()
     if (_runtime.numWorkers() <= 1)
         return nullptr;
     ++_counters.stealAttempts;
-    const int victim_id = _runtime.stealDistribution().sample(_id, _rng);
+    const RuntimeOptions &opts = _runtime.options();
+    const StealDistribution &dist = _runtime.stealDistribution();
+    int victim_id;
+    if (opts.hierarchicalSteals) {
+        // Level-by-level search: sample only within the current
+        // escalation radius; failures below widen it, success resets it.
+        victim_id = dist.sampleAtLevel(_id, _escalation.level(), _rng);
+    } else {
+        victim_id = dist.sample(_id, _rng);
+    }
     Worker &victim = _runtime.worker(victim_id);
 
     TaskBase *task = nullptr;
@@ -81,15 +96,43 @@ Worker::trySteal()
     // BIASEDSTEALWITHPUSH: flip a coin between the victim's mailbox and
     // its deque. Always checking the mailbox first would let a critical
     // node at a deque head starve (Section IV).
-    if (_runtime.options().useMailboxes && _rng.flip()) {
+    if (opts.useMailboxes && _rng.flip()) {
         task = victim.mailbox().tryTake();
         from_mailbox = task != nullptr;
         // Outcome 1 (mailbox empty): fall through to the deque.
     }
-    if (task == nullptr)
-        task = victim.deque().stealHead();
-    if (task == nullptr)
+    std::size_t batch_extra = 0;
+    TaskBase *batch[kStealHalfCap];
+    if (task == nullptr) {
+        // Remote-level victims pay a full cross-socket round trip per
+        // steal, so take a batch there; closer victims keep the paper's
+        // single-frame protocol.
+        if (opts.remoteStealHalf
+            && dist.levelOf(_id, victim_id) == kLevelRemote) {
+            std::size_t cap = static_cast<std::size_t>(
+                opts.stealHalfMax > 0 ? opts.stealHalfMax : 1);
+            if (cap > kStealHalfCap)
+                cap = kStealHalfCap;
+            const std::size_t n = victim.deque().stealHalf(batch, cap);
+            if (n > 0) {
+                task = batch[0];
+                batch_extra = n - 1;
+            }
+        } else {
+            task = victim.deque().stealHead();
+        }
+    }
+    if (task == nullptr) {
+        if (opts.hierarchicalSteals) {
+            const int before = _escalation.level();
+            _escalation.onFailedSteal();
+            if (_escalation.level() != before)
+                ++_counters.escalations;
+        }
         return nullptr;
+    }
+    if (opts.hierarchicalSteals)
+        _escalation.onSuccessfulSteal();
 
     // Successful steal: everything past this point is scheduler
     // bookkeeping, charged to scheduling time (the span term).
@@ -98,6 +141,18 @@ Worker::trySteal()
         ++_counters.mailboxTakes;
     else
         ++_counters.steals;
+    if (batch_extra > 0) {
+        ++_counters.stealHalfBatches;
+        _counters.stealHalfTasks += batch_extra + 1;
+        _counters.steals += batch_extra;
+        // Extras land on our own deque, oldest first, where they stay
+        // stealable by anyone else.
+        for (std::size_t i = 1; i <= batch_extra; ++i) {
+            batch[i]->markStolen();
+            _deque.pushTail(batch[i]);
+        }
+        _runtime.notifyWork();
+    }
     // Promotion analogue: the task has now migrated off its spawner.
     task->markStolen();
 
@@ -124,8 +179,15 @@ Worker::pushBack(TaskBase *task)
     const auto [first, last] = _runtime.workersOfPlace(target);
     if (first >= last)
         return false;
+    // The policy sees our own deque depth (pressure widens the cap) and
+    // every rejection below (congestion tightens it). Reading the live
+    // threshold each iteration keeps the loop bounded either way: the
+    // frame's lifetime push count only grows, the cap only shrinks under
+    // rejection, and a cap at or below the count exits to the give-up
+    // path, where load balance wins over locality.
+    _pushPolicy.observeDequeDepth(_deque.size());
     while (task->pushCount()
-           < static_cast<uint32_t>(opts.pushThreshold)) {
+           < static_cast<uint32_t>(_pushPolicy.threshold())) {
         ++_counters.pushbackAttempts;
         const int receiver =
             first
@@ -133,9 +195,11 @@ Worker::pushBack(TaskBase *task)
                 static_cast<uint64_t>(last - first)));
         if (_runtime.worker(receiver).mailbox().tryPut(task)) {
             ++_counters.pushbackSuccesses;
+            _pushPolicy.onPushSuccess();
             _runtime.notifyWork();
             return true;
         }
+        _pushPolicy.onMailboxFull();
         task->incPushCount();
     }
     ++_counters.pushbackGiveUps;

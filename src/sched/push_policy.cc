@@ -1,0 +1,22 @@
+#include "sched/push_policy.h"
+
+#include <sstream>
+
+namespace numaws {
+
+std::string
+PushPolicy::describe() const
+{
+    std::ostringstream out;
+    if (_cfg.kind == PushPolicyKind::Constant) {
+        out << "constant(threshold=" << _base << ")";
+    } else {
+        out << "adaptive(base=" << _base << ", min=" << _cfg.minThreshold
+            << ", max=" << _cfg.maxThreshold
+            << ", watermark=" << _cfg.dequeHighWatermark
+            << ", tightenAfter=" << _cfg.tightenAfterFailures << ")";
+    }
+    return out.str();
+}
+
+} // namespace numaws

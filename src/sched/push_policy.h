@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Pluggable pushing-threshold policy for lazy work pushing.
+ *
+ * The paper caps PUSHBACK at a *constant* pushing threshold (Section
+ * III-B): a frame that fails that many mailbox deposits is executed by the
+ * thief, keeping load balance ahead of locality. Wittmann & Hager's
+ * ccNUMA study and Tahan's adaptive OpenMP strategies both show that a
+ * fixed locality knob leaves performance on the table across machine
+ * shapes, so this policy generalizes the constant into a small family:
+ *
+ *  - Constant: the paper's behaviour, threshold() == base forever.
+ *  - Adaptive: the threshold *widens* under deque pressure (a thief whose
+ *    own deque is deep can afford more placement attempts before it must
+ *    run the frame itself) and *tightens* when mailboxes back up (a run
+ *    of full-mailbox rejections means the target place is saturated and
+ *    further attempts are wasted scheduling time).
+ *
+ * One instance lives per worker (threaded runtime) or per simulated core;
+ * updates are plain integer arithmetic on owner-local state, so the policy
+ * adds no synchronization to the steal path. Both engines consume this
+ * header so every ablation row toggles the same code.
+ */
+#ifndef NUMAWS_SCHED_PUSH_POLICY_H
+#define NUMAWS_SCHED_PUSH_POLICY_H
+
+#include <cstdint>
+#include <string>
+
+namespace numaws {
+
+/** Which pushing-threshold rule a run uses (one-for-one ablatable). */
+enum class PushPolicyKind : uint8_t
+{
+    Constant, ///< the paper's fixed threshold
+    Adaptive, ///< congestion-adaptive threshold (this PR)
+};
+
+/** Adaptive-policy tuning; ignored by PushPolicyKind::Constant. */
+struct PushPolicyConfig
+{
+    PushPolicyKind kind = PushPolicyKind::Constant;
+    /** Threshold floor/ceiling for the adaptive rule. */
+    int minThreshold = 1;
+    int maxThreshold = 16;
+    /** Own-deque depth at which a worker counts as under pressure. */
+    int64_t dequeHighWatermark = 4;
+    /** Consecutive full-mailbox rejections before tightening one step. */
+    int tightenAfterFailures = 2;
+};
+
+/**
+ * Per-worker pushing-threshold state machine.
+ *
+ * threshold() is the cap PUSHBACK compares a frame's lifetime push count
+ * against. The adaptive rule moves it by one step per signal, clamped to
+ * [minThreshold, maxThreshold]; the constant rule ignores all signals.
+ */
+class PushPolicy
+{
+  public:
+    PushPolicy() : PushPolicy(4, PushPolicyConfig{}) {}
+
+    PushPolicy(int base_threshold, const PushPolicyConfig &cfg)
+        : _cfg(cfg), _base(base_threshold), _current(base_threshold)
+    {
+        if (_cfg.minThreshold < 0)
+            _cfg.minThreshold = 0;
+        if (_cfg.maxThreshold < _cfg.minThreshold)
+            _cfg.maxThreshold = _cfg.minThreshold;
+        if (_cfg.tightenAfterFailures < 1)
+            _cfg.tightenAfterFailures = 1;
+        clamp();
+    }
+
+    /** Current cap on a frame's lifetime PUSHBACK attempts. */
+    int threshold() const { return _current; }
+
+    PushPolicyKind kind() const { return _cfg.kind; }
+    int baseThreshold() const { return _base; }
+    const PushPolicyConfig &config() const { return _cfg; }
+
+    /** A mailbox deposit was rejected (slot full): target congestion. */
+    void
+    onMailboxFull()
+    {
+        if (_cfg.kind != PushPolicyKind::Adaptive)
+            return;
+        if (++_failStreak >= _cfg.tightenAfterFailures) {
+            _failStreak = 0;
+            if (_current > _cfg.minThreshold)
+                --_current;
+        }
+    }
+
+    /** A mailbox deposit landed: congestion is clearing. */
+    void
+    onPushSuccess()
+    {
+        if (_cfg.kind != PushPolicyKind::Adaptive)
+            return;
+        _failStreak = 0;
+        // Relax one step back toward the configured base.
+        if (_current < _base)
+            ++_current;
+        else if (_current > _base)
+            --_current;
+    }
+
+    /**
+     * Owner-deque depth observed when the worker reaches a PUSHBACK site.
+     * Deep own deque == plenty of local work == widen — but only while no
+     * rejection streak is active; congestion always wins over pressure,
+     * so the two signals cannot fight each other into the ceiling.
+     */
+    void
+    observeDequeDepth(int64_t depth)
+    {
+        if (_cfg.kind != PushPolicyKind::Adaptive)
+            return;
+        if (depth >= _cfg.dequeHighWatermark && _failStreak == 0
+            && _current < _cfg.maxThreshold)
+            ++_current;
+    }
+
+    /** Restore the starting state (between runs / for stats resets). */
+    void
+    reset()
+    {
+        _current = _base;
+        _failStreak = 0;
+        clamp();
+    }
+
+    /** One-line description for bench JSON rows and logs. */
+    std::string describe() const;
+
+  private:
+    void
+    clamp()
+    {
+        if (_cfg.kind != PushPolicyKind::Adaptive)
+            return;
+        if (_current < _cfg.minThreshold)
+            _current = _cfg.minThreshold;
+        if (_current > _cfg.maxThreshold)
+            _current = _cfg.maxThreshold;
+    }
+
+    PushPolicyConfig _cfg;
+    int _base;
+    int _current;
+    int _failStreak = 0;
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_SCHED_PUSH_POLICY_H

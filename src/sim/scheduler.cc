@@ -39,9 +39,19 @@ struct CoreState
     Continuation cur;
     std::deque<Continuation> deq; ///< back == tail (owner), front == head
     std::optional<Continuation> mailbox;
+    /**
+     * Extras from a batched remote steal, already promoted, drained in
+     * the scheduling loop before the next steal attempt. Private to this
+     * core: the sim's deque entries must stay an ancestor chain of the
+     * current task (stepReturn asserts it), so foreign continuations may
+     * not enter `deq`.
+     */
+    std::deque<Continuation> overflow;
     NextAction next = NextAction::Steal;
     FrameId checkParent = kNoFrame;
     Rng rng{0};
+    StealEscalation esc;
+    PushPolicy push;
 
     double workCycles = 0.0;
     double schedCycles = 0.0;
@@ -80,8 +90,13 @@ class Simulation
     {
         NUMAWS_ASSERT(cores >= 1);
         uint64_t seed_state = config.seed;
-        for (int c = 0; c < cores; ++c)
+        for (int c = 0; c < cores; ++c) {
             _cores[c].rng = Rng(splitmix64(seed_state));
+            _cores[c].esc =
+                StealEscalation(config.stealEscalationFailures);
+            _cores[c].push =
+                PushPolicy(config.pushThreshold, config.pushPolicy);
+        }
         // The root computation starts on core 0 (first core of the first
         // socket, as the runtime pins it).
         _cores[0].cur = Continuation{dag.root(), dag.frame(dag.root())
@@ -129,8 +144,14 @@ class Simulation
         const Place target = _dag.frame(cont.frame).place;
         const auto [first, last] = coresOfSocket(target);
         NUMAWS_ASSERT(first < last);
+        PushPolicy &policy = _cores[core].push;
+        // Pressure signal: a core with a deep own deque can afford more
+        // placement attempts before running the frame itself.
+        policy.observeDequeDepth(
+            static_cast<int64_t>(_cores[core].deq.size()));
         bool pushed = false;
-        while (fs.pushCount < static_cast<uint32_t>(_cfg.pushThreshold)) {
+        while (fs.pushCount
+               < static_cast<uint32_t>(policy.threshold())) {
             ++_counters.pushAttempts;
             cost += _cfg.pushAttemptCost;
             const int receiver =
@@ -140,9 +161,11 @@ class Simulation
             if (receiver != core && !_cores[receiver].mailbox.has_value()) {
                 _cores[receiver].mailbox = cont;
                 ++_counters.pushSuccesses;
+                policy.onPushSuccess();
                 pushed = true;
                 break;
             }
+            policy.onMailboxFull();
             ++fs.pushCount;
         }
         if (!pushed)
@@ -284,7 +307,9 @@ Simulation::stepStealAttempt(int core)
         return {_cfg.stealAttemptBase, Charge::Idle};
 
     ++_counters.stealAttempts;
-    const int victim = _dist.sample(core, c.rng);
+    const int victim = _cfg.hierarchicalSteals
+                           ? _dist.sampleAtLevel(core, c.esc.level(), c.rng)
+                           : _dist.sample(core, c.rng);
     const int hops = _machine.hops(socketOf(core), socketOf(victim));
     double cost = _cfg.stealAttemptBase + _cfg.stealPerHop * hops;
 
@@ -304,8 +329,12 @@ Simulation::stepStealAttempt(int core)
                 // Outcome 3: earmarked elsewhere: push it onward; if the
                 // threshold is exhausted we take it ourselves.
                 _cores[victim].mailbox.reset();
-                if (pushBack(core, cont, cost))
+                if (pushBack(core, cont, cost)) {
+                    // Work was found (and forwarded): not a failed probe.
+                    if (_cfg.hierarchicalSteals)
+                        c.esc.onSuccessfulSteal();
                     return {cost, Charge::Sched};
+                }
                 got = cont;
             }
         }
@@ -324,11 +353,40 @@ Simulation::stepStealAttempt(int core)
             fs.stolen = true;
             ++fs.joinCount;
             cost += _cfg.promotionCost;
+            // Remote-level batching: one cross-socket round trip moves
+            // up to half the victim's deque; extras are promoted now and
+            // parked in the private overflow buffer at a reduced
+            // per-frame cost (the amortization this knob buys).
+            if (_cfg.remoteStealHalf
+                && _dist.levelOf(core, victim) == kLevelRemote) {
+                // Total batch = ceil(half) of the original deque size,
+                // mirroring WsDeque::stealHalf: one frame was already
+                // popped above, so take size/2 of what remains.
+                int extras = static_cast<int>(v.deq.size() / 2);
+                if (extras > _cfg.stealHalfMax - 1)
+                    extras = _cfg.stealHalfMax - 1;
+                for (int i = 0; i < extras; ++i) {
+                    Continuation extra = v.deq.front();
+                    v.deq.pop_front();
+                    FrameState &es = _frames[extra.frame];
+                    es.stolen = true;
+                    ++es.joinCount;
+                    ++_counters.steals;
+                    ++_counters.batchedFrames;
+                    cost += _cfg.batchExtraCost;
+                    c.overflow.push_back(extra);
+                }
+                if (extras > 0)
+                    ++_counters.batchedSteals;
+            }
             // Figure 5: a freshly stolen frame earmarked for a different
             // socket is pushed toward its place.
             if (placeMismatch(core, _dag.frame(got.frame).place)) {
-                if (pushBack(core, got, cost))
+                if (pushBack(core, got, cost)) {
+                    if (_cfg.hierarchicalSteals)
+                        c.esc.onSuccessfulSteal();
                     return {cost, Charge::Sched};
+                }
             }
         }
     } else {
@@ -336,9 +394,13 @@ Simulation::stepStealAttempt(int core)
     }
 
     if (got.valid()) {
+        if (_cfg.hierarchicalSteals)
+            c.esc.onSuccessfulSteal();
         c.cur = got;
         return {cost, Charge::Sched};
     }
+    if (_cfg.hierarchicalSteals)
+        c.esc.onFailedSteal();
     return {cost, Charge::Idle};
 }
 
@@ -373,6 +435,22 @@ Simulation::stepSchedulingLoop(int core)
         c.mailbox.reset();
         ++_counters.mailboxPops;
         return {_cfg.mailboxCheckCost, Charge::Sched};
+    }
+
+    // Drain the batched-steal overflow before probing new victims. The
+    // scheduling loop runs with an empty deque, so resuming one of these
+    // behaves exactly like a freshly stolen continuation — including the
+    // Figure 5 place check.
+    if (!c.overflow.empty()) {
+        Continuation cont = c.overflow.front();
+        c.overflow.pop_front();
+        double cost = _cfg.mailboxCheckCost;
+        if (placeMismatch(core, _dag.frame(cont.frame).place)) {
+            if (pushBack(core, cont, cost))
+                return {cost, Charge::Sched};
+        }
+        c.cur = cont;
+        return {cost, Charge::Sched};
     }
 
     return stepStealAttempt(core);

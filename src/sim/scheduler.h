@@ -16,6 +16,24 @@
  * execution state is a (frame, item) pair), it reproduces the paper's
  * protocol more faithfully than any library runtime can; every evaluation
  * figure is produced here.
+ *
+ * The adaptive extensions mirror the threaded runtime's knobs one-for-one
+ * so ablations compare like with like:
+ *  - hierarchicalSteals + stealEscalationFailures: level-by-level victim
+ *    search (core -> place -> socket -> remote) with per-level escalation
+ *    after consecutive failed attempts (StealEscalation); at the
+ *    outermost level every victim is reachable, so a starving core always
+ *    steals against the place hint rather than idling.
+ *  - pushPolicy (PushPolicyKind::Constant | ::Adaptive): the pushing
+ *    threshold becomes pluggable; the adaptive rule widens under
+ *    own-deque pressure and tightens when target mailboxes reject
+ *    deposits. pushThreshold remains the constant value / adaptive base.
+ *  - remoteStealHalf + stealHalfMax + batchExtraCost: a steal landing on
+ *    a remote-level victim moves up to half its deque in one event; the
+ *    first continuation is resumed immediately and the extras park in the
+ *    thief's private overflow buffer, drained in its scheduling loop
+ *    before the next steal (each extra costs batchExtraCost instead of a
+ *    full promotion+probe round trip — that is the amortization).
  */
 #ifndef NUMAWS_SIM_SCHEDULER_H
 #define NUMAWS_SIM_SCHEDULER_H
@@ -25,6 +43,7 @@
 #include <optional>
 #include <vector>
 
+#include "sched/push_policy.h"
 #include "sim/dag.h"
 #include "sim/memory.h"
 #include "sim/metrics.h"
@@ -47,8 +66,20 @@ struct SimConfig
      * requires it); false = always inspect the mailbox first (ablation).
      */
     bool coinFlip = true;
-    /** Constant pushing threshold. */
+    /** Constant pushing threshold; also the adaptive policy's base. */
     int pushThreshold = 4;
+    /** Pushing-threshold policy (constant reproduces the paper). */
+    PushPolicyConfig pushPolicy{};
+    /** Hierarchical level-by-level victim search with escalation. */
+    bool hierarchicalSteals = false;
+    /** Consecutive failed steals per level before widening the search. */
+    int stealEscalationFailures = 2;
+    /** Steal-half batching for remote-level (>= two-hop) steals. */
+    bool remoteStealHalf = false;
+    /** Max continuations one batched remote steal may move (matches
+     * RuntimeOptions::stealHalfMax so ablations compare like with
+     * like). */
+    int stealHalfMax = 8;
 
     /** @name Event costs in cycles */
     /// @{
@@ -62,6 +93,7 @@ struct SimConfig
     double resumeCost = 100.0;       ///< resume a suspended full frame
     double mailboxCheckCost = 40.0;  ///< POPMAILBOX / mailbox inspection
     double pushAttemptCost = 140.0;  ///< one PUSHBACK attempt
+    double batchExtraCost = 60.0;    ///< per extra frame in a batched steal
     /// @}
 
     /** Zero all runtime overheads: the serial elision (TS). */
@@ -84,6 +116,21 @@ struct SimConfig
     numaWs()
     {
         return SimConfig{};
+    }
+
+    /**
+     * NUMA-WS plus every adaptive extension: hierarchical victim search
+     * with escalation, the congestion-adaptive pushing threshold, and
+     * remote steal-half batching.
+     */
+    static SimConfig
+    adaptiveNumaWs()
+    {
+        SimConfig c;
+        c.hierarchicalSteals = true;
+        c.pushPolicy.kind = PushPolicyKind::Adaptive;
+        c.remoteStealHalf = true;
+        return c;
     }
 
     /** Serial elision: classic engine with zero parallel overhead. */

@@ -20,10 +20,22 @@ StealDistribution::StealDistribution(const Machine &machine, int workers,
     // sockets and groups the threads on a given socket into a single
     // group").
     _workerSocket.resize(workers);
+    _workerCoreGroup.resize(workers);
     const int sockets = machine.numSockets();
+    _numSockets = sockets;
+    _socketHops.resize(static_cast<std::size_t>(sockets) * sockets);
+    for (int i = 0; i < sockets; ++i)
+        for (int j = 0; j < sockets; ++j)
+            _socketHops[static_cast<std::size_t>(i) * sockets + j] =
+                machine.hops(i, j);
     const int per = (workers + sockets - 1) / sockets;
-    for (int w = 0; w < workers; ++w)
+    for (int w = 0; w < workers; ++w) {
         _workerSocket[w] = std::min(w / per, sockets - 1);
+        // Pair buddies: adjacent worker indices within a socket share a
+        // core group (the hierarchical Core level).
+        const int first_on_socket = _workerSocket[w] * per;
+        _workerCoreGroup[w] = (w - first_on_socket) / kCoreGroupSize;
+    }
 
     _probability.assign(static_cast<std::size_t>(workers) * workers, 0.0);
     _cumulative.assign(static_cast<std::size_t>(workers) * workers, 0.0);
@@ -59,6 +71,66 @@ StealDistribution::StealDistribution(const Machine &machine, int workers,
             _cumulative[static_cast<std::size_t>(thief) * workers
                         + (workers - 1)] = 1.0;
     }
+
+    // Hierarchical ranking: per thief, victims sorted by distance level
+    // (stable by id within a level) plus cumulative per-level counts.
+    const std::size_t row = static_cast<std::size_t>(workers - 1);
+    _victimsByLevel.resize(static_cast<std::size_t>(workers) * row);
+    _levelPrefix.assign(
+        static_cast<std::size_t>(workers) * kNumStealLevels, 0);
+    for (int thief = 0; thief < workers; ++thief) {
+        int *out = _victimsByLevel.data()
+                   + static_cast<std::size_t>(thief) * row;
+        int rank = 0;
+        for (int level = 0; level < kNumStealLevels; ++level) {
+            for (int victim = 0; victim < workers; ++victim)
+                if (victim != thief && levelOf(thief, victim) == level)
+                    out[rank++] = victim;
+            _levelPrefix[static_cast<std::size_t>(thief) * kNumStealLevels
+                         + level] = rank;
+        }
+        NUMAWS_ASSERT(rank == workers - 1);
+    }
+}
+
+int
+StealDistribution::levelOf(int thief, int victim) const
+{
+    NUMAWS_ASSERT(thief != victim);
+    if (_workerSocket[thief] == _workerSocket[victim]) {
+        return _workerCoreGroup[thief] == _workerCoreGroup[victim]
+                   ? kLevelCore
+                   : kLevelPlace;
+    }
+    const int hops =
+        _socketHops[static_cast<std::size_t>(_workerSocket[thief])
+                        * _numSockets
+                    + _workerSocket[victim]];
+    return hops <= 1 ? kLevelSocket : kLevelRemote;
+}
+
+int
+StealDistribution::victimsWithinLevel(int thief, int level) const
+{
+    NUMAWS_ASSERT(level >= 0 && level < kNumStealLevels);
+    return _levelPrefix[static_cast<std::size_t>(thief) * kNumStealLevels
+                        + level];
+}
+
+int
+StealDistribution::sampleAtLevel(int thief, int level, Rng &rng) const
+{
+    NUMAWS_ASSERT(_numWorkers > 1);
+    level = std::min(std::max(level, 0), kNumStealLevels - 1);
+    // Escalate internally past empty prefixes (e.g. a lone worker on its
+    // socket has no Core or Place victims).
+    int n = victimsWithinLevel(thief, level);
+    while (n == 0 && level < kNumStealLevels - 1)
+        n = victimsWithinLevel(thief, ++level);
+    NUMAWS_ASSERT(n > 0); // outermost prefix holds all W-1 victims
+    const int *row = _victimsByLevel.data()
+                     + static_cast<std::size_t>(thief) * (_numWorkers - 1);
+    return row[rng.nextBounded(static_cast<uint64_t>(n))];
 }
 
 int

@@ -1,6 +1,6 @@
 /**
  * @file
- * Locality-biased victim selection (Section III-B).
+ * Locality-biased victim selection (Section III-B), flat and hierarchical.
  *
  * Classic work stealing picks a victim uniformly at random. NUMA-WS biases
  * the distribution by socket distance: victims on the thief's socket are
@@ -8,6 +8,16 @@
  * every victim's probability at least 1/(cP) for a constant c — that lower
  * bound is what preserves the O(P * Tinf) steal bound of Section IV — so
  * weights are strictly positive by construction and validated here.
+ *
+ * On top of the flat biased distribution this file provides the *adaptive
+ * hierarchical* victim search: victims are ranked into distance levels
+ * (core -> place -> socket -> remote) and a thief samples uniformly among
+ * victims at or inside its current level, escalating one level outward
+ * after a run of consecutive failed steals (StealEscalation). At the
+ * outermost level every victim is reachable, so a starving worker always
+ * ends up stealing against any place hint rather than idling, and each
+ * victim keeps probability >= 1/(P-1) there — the same 1/(cP) shape the
+ * proof needs, reached after a constant number of failures.
  */
 #ifndef NUMAWS_TOPOLOGY_STEAL_DISTRIBUTION_H
 #define NUMAWS_TOPOLOGY_STEAL_DISTRIBUTION_H
@@ -34,11 +44,86 @@ struct BiasWeights
 };
 
 /**
+ * Distance levels for hierarchical victim search, innermost first.
+ *
+ * Core: the thief's pair buddies (workers sharing its core group — adjacent
+ * worker indices on the same socket, modelling a shared mid-level cache).
+ * Place: the rest of the thief's socket (its virtual place).
+ * Socket: one-hop sockets. Remote: two-or-more-hop sockets.
+ */
+enum StealLevel : int
+{
+    kLevelCore = 0,
+    kLevelPlace = 1,
+    kLevelSocket = 2,
+    kLevelRemote = 3,
+};
+
+inline constexpr int kNumStealLevels = 4;
+
+/** Workers per core group at the Core level (pair buddies). */
+inline constexpr int kCoreGroupSize = 2;
+
+/**
+ * Per-thief escalation ladder for hierarchical stealing.
+ *
+ * A thief starts at its innermost nonempty level; each run of
+ * @p failures_per_level consecutive failed steal attempts widens the
+ * search by one level, and a successful acquisition narrows it by one
+ * level (not a full reset: under steady cross-socket load the ladder
+ * settles at the level where work actually is, instead of re-climbing
+ * from the core level after every hit). Escalation reaches kLevelRemote
+ * (all victims) after at most failures_per_level * kNumStealLevels
+ * failures, which keeps the steal bound within a constant factor of the
+ * flat scheme.
+ */
+class StealEscalation
+{
+  public:
+    explicit StealEscalation(int failures_per_level = 2)
+        : _failuresPerLevel(failures_per_level > 0 ? failures_per_level : 1)
+    {}
+
+    int level() const { return _level; }
+    bool atOutermostLevel() const { return _level == kNumStealLevels - 1; }
+
+    /** A steal attempt found nothing: maybe widen the search. */
+    void
+    onFailedSteal()
+    {
+        if (++_failures >= _failuresPerLevel
+            && _level < kNumStealLevels - 1) {
+            ++_level;
+            _failures = 0;
+        }
+    }
+
+    /** Work was acquired: narrow the search by one level. */
+    void
+    onSuccessfulSteal()
+    {
+        if (_level > 0)
+            --_level;
+        _failures = 0;
+    }
+
+  private:
+    int _failuresPerLevel;
+    int _level = 0;
+    int _failures = 0;
+};
+
+/**
  * Precomputed per-thief victim distribution over all workers of a machine.
  *
  * One instance is built per (machine, worker count, weights) configuration;
  * sampling is a binary search over a cumulative table, O(log P) with no
  * allocation, cheap enough for the steal path.
+ *
+ * The same instance also precomputes the distance-level ranking used by
+ * hierarchical stealing: sampleAtLevel(thief, L) picks uniformly among the
+ * victims whose level is <= L (escalating internally past empty levels),
+ * so at kLevelRemote it degenerates to uniform over all victims.
  */
 class StealDistribution
 {
@@ -69,12 +154,35 @@ class StealDistribution
 
     int numWorkers() const { return _numWorkers; }
 
+    /** @name Hierarchical victim search */
+    /// @{
+    /** Distance level of @p victim as seen from @p thief. */
+    int levelOf(int thief, int victim) const;
+
+    /** Victims of @p thief at level <= @p level (monotone in level). */
+    int victimsWithinLevel(int thief, int level) const;
+
+    /**
+     * Sample uniformly among victims at level <= @p level; empty prefixes
+     * escalate internally, so a victim is always returned when P > 1.
+     * Never returns the thief.
+     */
+    int sampleAtLevel(int thief, int level, Rng &rng) const;
+    /// @}
+
   private:
     int _numWorkers;
+    int _numSockets;
     std::vector<int> _workerSocket;
+    std::vector<int> _workerCoreGroup; ///< pair-buddy group within socket
+    std::vector<int> _socketHops;      ///< row-major socket hop matrix
     // Row-major [thief][victim] cumulative probabilities.
     std::vector<double> _cumulative;
     std::vector<double> _probability;
+    // Row-major [thief][rank]: victims sorted by level then id (W-1 per
+    // thief), plus [thief][level] counts of victims at level <= L.
+    std::vector<int> _victimsByLevel;
+    std::vector<int> _levelPrefix;
 };
 
 } // namespace numaws

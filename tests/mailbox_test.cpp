@@ -61,7 +61,7 @@ TEST(Mailbox, PeekDoesNotRemove)
 TEST(MailboxStress, ExactlyOnceDelivery)
 {
     constexpr int kProducers = 3;
-    constexpr int kFramesPer = 20000;
+    constexpr int kFramesPer = 8000;
     Mailbox<Frame> m;
     std::vector<Frame> frames(kProducers * kFramesPer);
     for (int i = 0; i < static_cast<int>(frames.size()); ++i)
@@ -76,6 +76,8 @@ TEST(MailboxStress, ExactlyOnceDelivery)
         while (!done.load(std::memory_order_acquire)) {
             if (Frame *f = m.tryTake())
                 taken[f->id].fetch_add(1);
+            else
+                std::this_thread::yield();
         }
         while (Frame *f = m.tryTake())
             taken[f->id].fetch_add(1);
@@ -86,8 +88,10 @@ TEST(MailboxStress, ExactlyOnceDelivery)
         producers.emplace_back([&, p] {
             for (int i = 0; i < kFramesPer; ++i) {
                 Frame *f = &frames[p * kFramesPer + i];
-                while (!m.tryPut(f)) {
-                }
+                // Yield while the slot is full: a busy-spin here livelocks
+                // single-core hosts (the consumer never gets scheduled).
+                while (!m.tryPut(f))
+                    std::this_thread::yield();
             }
         });
     }

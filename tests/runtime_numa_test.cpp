@@ -108,9 +108,11 @@ TEST(RuntimeNuma, HintedTasksMostlyRunAtTheirPlace)
         tg.sync();
     });
     EXPECT_EQ(total.load(), 400);
-    // Best-effort: more than half land where hinted (typically ~all; the
-    // bound is loose because load balancing may override).
-    EXPECT_GT(on_place.load(), total.load() / 2);
+    // Best-effort: at least half land where hinted (typically ~all; the
+    // bound is loose because load balancing may override). Inclusive
+    // because on an oversubscribed single-CPU host the spawning worker
+    // can run every task itself, which yields exactly half on-place.
+    EXPECT_GE(on_place.load(), total.load() / 2);
 }
 
 TEST(RuntimeNuma, PushbackEventuallyGivesUpAtThreshold)

@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>

@@ -158,5 +158,154 @@ TEST(StealDistribution, TwoWorkersAlwaysPickEachOther)
     }
 }
 
+// ---------------------------------------------------------------------
+// Hierarchical victim search
+// ---------------------------------------------------------------------
+
+TEST(StealHierarchy, LevelOfMatchesTopology)
+{
+    const Machine m = Machine::paperMachine();
+    const StealDistribution d(m, 32, BiasWeights{});
+    // Thief 0 on socket 0: worker 1 is its pair buddy, 2..7 share the
+    // socket, sockets 1 and 2 are one hop, socket 3 is two hops.
+    EXPECT_EQ(d.levelOf(0, 1), kLevelCore);
+    EXPECT_EQ(d.levelOf(0, 2), kLevelPlace);
+    EXPECT_EQ(d.levelOf(0, 7), kLevelPlace);
+    EXPECT_EQ(d.levelOf(0, 8), kLevelSocket);  // socket 1, one hop
+    EXPECT_EQ(d.levelOf(0, 16), kLevelSocket); // socket 2, one hop
+    EXPECT_EQ(d.levelOf(0, 24), kLevelRemote); // socket 3, two hops
+    // Levels are symmetric for pair buddies and socket mates.
+    EXPECT_EQ(d.levelOf(1, 0), kLevelCore);
+    EXPECT_EQ(d.levelOf(9, 8), kLevelCore);
+    // Thief 8 on socket 1: sockets 0 and 3 adjacent, socket 2 two hops.
+    EXPECT_EQ(d.levelOf(8, 0), kLevelSocket);
+    EXPECT_EQ(d.levelOf(8, 16), kLevelRemote);
+}
+
+TEST(StealHierarchy, PrefixCountsAreMonotoneAndComplete)
+{
+    const Machine m = Machine::paperMachine();
+    const StealDistribution d(m, 32, BiasWeights{});
+    for (int t = 0; t < 32; ++t) {
+        int prev = 0;
+        for (int level = 0; level < kNumStealLevels; ++level) {
+            const int n = d.victimsWithinLevel(t, level);
+            EXPECT_GE(n, prev);
+            prev = n;
+        }
+        // The outermost prefix always covers every other worker, which
+        // is what lets a starving thief reach any victim.
+        EXPECT_EQ(d.victimsWithinLevel(t, kLevelRemote), 31);
+    }
+    // Thief 0 concretely: 1 pair buddy, 6 socket mates, 16 one-hop
+    // workers, 8 two-hop workers.
+    EXPECT_EQ(d.victimsWithinLevel(0, kLevelCore), 1);
+    EXPECT_EQ(d.victimsWithinLevel(0, kLevelPlace), 7);
+    EXPECT_EQ(d.victimsWithinLevel(0, kLevelSocket), 23);
+    EXPECT_EQ(d.victimsWithinLevel(0, kLevelRemote), 31);
+}
+
+TEST(StealHierarchy, SampleAtLevelStaysInsideTheRadius)
+{
+    const Machine m = Machine::paperMachine();
+    const StealDistribution d(m, 32, BiasWeights{});
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const int v_core = d.sampleAtLevel(0, kLevelCore, rng);
+        EXPECT_EQ(v_core, 1); // the only pair buddy
+        const int v_place = d.sampleAtLevel(0, kLevelPlace, rng);
+        EXPECT_GE(v_place, 1);
+        EXPECT_LE(v_place, 7);
+        const int v_socket = d.sampleAtLevel(0, kLevelSocket, rng);
+        EXPECT_LE(d.levelOf(0, v_socket), kLevelSocket);
+        const int v_any = d.sampleAtLevel(0, kLevelRemote, rng);
+        EXPECT_NE(v_any, 0); // never the thief
+    }
+}
+
+TEST(StealHierarchy, EmptyInnerLevelsEscalateInternally)
+{
+    // One worker per socket: no Core or Place victims exist, so a
+    // Core-level sample must silently widen instead of spinning.
+    const Machine m = Machine::paperMachine();
+    const StealDistribution d(m, 4, BiasWeights{});
+    EXPECT_EQ(d.victimsWithinLevel(0, kLevelCore), 0);
+    EXPECT_EQ(d.victimsWithinLevel(0, kLevelPlace), 0);
+    EXPECT_EQ(d.victimsWithinLevel(0, kLevelSocket), 2);
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        const int v = d.sampleAtLevel(0, kLevelCore, rng);
+        // Workers 1 and 2 sit on the one-hop sockets of the QPI square.
+        EXPECT_TRUE(v == 1 || v == 2) << "victim " << v;
+    }
+}
+
+TEST(StealHierarchy, SamplingAtOutermostLevelIsUniform)
+{
+    const Machine m = Machine::paperMachine();
+    const StealDistribution d(m, 16, BiasWeights{});
+    Rng rng(123);
+    CategoryCounter counts(16);
+    const int n = 150000;
+    for (int i = 0; i < n; ++i)
+        counts.add(static_cast<std::size_t>(
+            d.sampleAtLevel(3, kLevelRemote, rng)));
+    EXPECT_EQ(counts.count(3), 0);
+    for (int v = 0; v < 16; ++v) {
+        if (v == 3)
+            continue;
+        EXPECT_NEAR(counts.fraction(static_cast<std::size_t>(v)),
+                    1.0 / 15.0, 0.01)
+            << "victim " << v;
+    }
+}
+
+TEST(StealEscalation, WidensAfterConsecutiveFailuresOnly)
+{
+    StealEscalation e(2);
+    EXPECT_EQ(e.level(), kLevelCore);
+    e.onFailedSteal();
+    EXPECT_EQ(e.level(), kLevelCore); // one failure is not enough
+    e.onFailedSteal();
+    EXPECT_EQ(e.level(), kLevelPlace);
+    e.onFailedSteal();
+    e.onFailedSteal();
+    EXPECT_EQ(e.level(), kLevelSocket);
+    e.onFailedSteal();
+    e.onFailedSteal();
+    EXPECT_EQ(e.level(), kLevelRemote);
+    EXPECT_TRUE(e.atOutermostLevel());
+    // Saturates at the outermost level: a starving worker keeps probing
+    // the whole machine instead of idling.
+    e.onFailedSteal();
+    e.onFailedSteal();
+    EXPECT_EQ(e.level(), kLevelRemote);
+}
+
+TEST(StealEscalation, SuccessNarrowsOneLevel)
+{
+    StealEscalation e(1);
+    e.onFailedSteal();
+    e.onFailedSteal();
+    e.onFailedSteal();
+    EXPECT_EQ(e.level(), kLevelRemote);
+    e.onSuccessfulSteal();
+    EXPECT_EQ(e.level(), kLevelSocket); // one step, not a full reset
+    e.onSuccessfulSteal();
+    e.onSuccessfulSteal();
+    e.onSuccessfulSteal();
+    EXPECT_EQ(e.level(), kLevelCore); // floors at the innermost level
+}
+
+TEST(StealEscalation, SuccessResetsTheFailureStreak)
+{
+    StealEscalation e(2);
+    e.onFailedSteal();
+    e.onSuccessfulSteal();
+    e.onFailedSteal();
+    // Two non-consecutive failures must not widen the search.
+    EXPECT_EQ(e.level(), kLevelCore);
+}
+
 } // namespace
 } // namespace numaws
