@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Victim-policy ablation grid: {flat, distance, occupancy,
+ * occupancy+affinity} on the two workloads that pulled PR 1's
+ * hierarchical search in opposite directions.
+ *
+ * PR 1 recorded the tension this grid measures: the blind distance
+ * ladder cut matmul-layout steal probes ~16% but cost ~+30% simulated
+ * time on heat, whose work travels through mailboxes on other sockets —
+ * the ladder kept probing drained local deques. The informed policies
+ * consult the OccupancyBoard (and, for occupancy+affinity, the thief's
+ * data-region homes) so the ladder skips provably-dry levels and lands
+ * on the mailbox-fed sockets directly.
+ *
+ *   ./ablation_victim_policy [--scale=0.25] [--cores=32] [--seeds=5]
+ *                            [--seed=first] [--json=...]
+ *
+ * Steal dynamics near heat's per-step barriers are seed sensitive, so
+ * each (workload, policy) cell runs --seeds independent seeds; the JSON
+ * carries one row per seed (with core-count/sha provenance) and the
+ * gates compare *means*. Exits nonzero unless all acceptance gates hold:
+ *  1. heat: occupancy+affinity <= flat-search simulated time
+ *     (the PR 1 regression is erased),
+ *  2. matmul_layout: occupancy+affinity steal probes stay >= 10% below
+ *     flat search (the PR 1 win is kept),
+ *  3. occupancy+affinity does not regress simulated time vs. the
+ *     distance-only ladder on either workload.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace numaws;
+using namespace numaws::bench;
+using namespace numaws::workloads;
+
+namespace {
+
+struct PolicyRow
+{
+    const char *name;       ///< JSON "policy" field
+    bool hierarchical;
+    VictimPolicy victims;
+    EscalationPolicy escalation;
+};
+
+const PolicyRow kRows[] = {
+    {"flat", false, VictimPolicy::Distance, EscalationPolicy::Fixed},
+    {"distance", true, VictimPolicy::Distance, EscalationPolicy::Fixed},
+    {"occupancy", true, VictimPolicy::Occupancy, EscalationPolicy::Fixed},
+    {"occupancy+affinity", true, VictimPolicy::OccupancyAffinity,
+     EscalationPolicy::Fixed},
+    // Extra (ungated) row: the self-tuning escalation on top of the full
+    // informed policy, so its effect stays visible in the artifact.
+    {"occupancy+affinity/esc-adaptive", true,
+     VictimPolicy::OccupancyAffinity, EscalationPolicy::Adaptive},
+};
+
+struct Measured
+{
+    double elapsed = 0.0;
+    uint64_t attempts = 0;
+};
+
+sim::SimConfig
+configOf(const PolicyRow &row, uint64_t seed)
+{
+    sim::SimConfig c = sim::SimConfig::numaWs();
+    c.hierarchicalSteals = row.hierarchical;
+    c.victimPolicy = row.victims;
+    c.escalationPolicy = row.escalation;
+    c.seed = seed;
+    return c;
+}
+
+bool
+gate(const char *what, double actual, double limit)
+{
+    const bool ok = actual <= limit;
+    std::printf("  gate %-46s %.4f <= %.4f  %s\n", what, actual, limit,
+                ok ? "ok" : "FAIL");
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv);
+    const BenchArgs args(cli);
+    const std::string json_path =
+        cli.getString("json", "BENCH_victim_policy.json");
+    const uint64_t first_seed =
+        static_cast<uint64_t>(cli.getInt("seed", 0x5eed));
+    const int num_seeds =
+        std::max(1, static_cast<int>(cli.getInt("seeds", 5)));
+    const int places = socketsFor(args.cores);
+
+    MatmulParams mm;
+    mm.n = args.scale >= 1.0 ? 1024 : (args.scale >= 0.5 ? 512 : 256);
+    mm.block = 64;
+    mm.zLayout = true;
+
+    HeatParams heat;
+    heat.nx = args.scale >= 1.0 ? 2048 : (args.scale >= 0.5 ? 1024 : 512);
+    heat.ny = heat.nx;
+    heat.steps = args.scale >= 1.0 ? 16 : 8;
+
+    struct Case
+    {
+        std::string name;
+        sim::ComputationDag dag;
+    };
+    const Case cases[] = {
+        {"heat", heatDag(heat, places, Placement::Partitioned, true)},
+        {"matmul_layout",
+         matmulDag(mm, places, Placement::Partitioned, true)},
+    };
+
+    JsonReport report;
+    Measured flat[2], distance[2], informed[2]; // per case
+    for (std::size_t ci = 0; ci < 2; ++ci) {
+        const Case &sc = cases[ci];
+        if (!args.only.empty() && args.only != sc.name)
+            continue;
+        std::printf("\nSimulated %s, %d cores, %d seeds:\n",
+                    sc.name.c_str(), args.cores, num_seeds);
+        Table t({"policy", "T(mean)", "idle", "attempts", "steals",
+                 "skips", "remote%"});
+        for (const PolicyRow &row : kRows) {
+            Measured mean;
+            double idle = 0.0, remote = 0.0;
+            uint64_t steals = 0, skips = 0;
+            for (int s = 0; s < num_seeds; ++s) {
+                const uint64_t seed = first_seed + 7919ULL * s;
+                const sim::SimResult r = sim::simulatePacked(
+                    sc.dag, args.cores, configOf(row, seed));
+                JsonRow j;
+                j.set("engine", "sim")
+                    .set("workload", sc.name)
+                    .set("policy", row.name)
+                    .set("escalation",
+                         row.escalation == EscalationPolicy::Adaptive
+                             ? "adaptive"
+                             : "fixed")
+                    .set("cores", args.cores)
+                    .set("seed", seed)
+                    .set("elapsed_s", r.elapsedSeconds)
+                    .set("work_s", r.workSeconds)
+                    .set("sched_s", r.schedSeconds)
+                    .set("idle_s", r.idleSeconds)
+                    .set("steal_attempts", r.counters.stealAttempts)
+                    .set("steals", r.counters.steals)
+                    .set("mailbox_steals", r.counters.mailboxSteals)
+                    .set("level_skips", r.counters.levelSkips)
+                    .set("board_dry_polls", r.counters.boardDryPolls)
+                    .set("push_successes", r.counters.pushSuccesses)
+                    .set("remote_fraction", r.memory.remoteFraction());
+                report.addRow(j);
+                mean.elapsed += r.elapsedSeconds / num_seeds;
+                mean.attempts += r.counters.stealAttempts;
+                idle += r.idleSeconds / num_seeds;
+                remote += r.memory.remoteFraction() / num_seeds;
+                steals += r.counters.steals;
+                skips += r.counters.levelSkips;
+            }
+            mean.attempts /= static_cast<uint64_t>(num_seeds);
+            t.addRow({row.name, Table::fmtSeconds(mean.elapsed),
+                      Table::fmtSeconds(idle),
+                      std::to_string(mean.attempts),
+                      std::to_string(steals
+                                     / static_cast<uint64_t>(num_seeds)),
+                      std::to_string(skips
+                                     / static_cast<uint64_t>(num_seeds)),
+                      Table::fmtRatio(remote)});
+
+            if (std::string(row.name) == "flat")
+                flat[ci] = mean;
+            else if (std::string(row.name) == "distance")
+                distance[ci] = mean;
+            else if (std::string(row.name) == "occupancy+affinity")
+                informed[ci] = mean;
+        }
+        t.print();
+    }
+
+    report.writeFile(json_path);
+    std::printf("\nwrote %zu rows to %s\n", report.numRows(),
+                json_path.c_str());
+
+    if (!args.only.empty())
+        return 0; // partial runs skip the cross-workload gates
+
+    // Acceptance gates (see file header). Ratios vs. flat search use a
+    // 0.5% tolerance for cost-model noise; the probe gate is absolute.
+    bool ok = true;
+    std::printf("\n");
+    ok &= gate("heat occ+affinity / flat elapsed",
+               informed[0].elapsed / flat[0].elapsed, 1.005);
+    ok &= gate("matmul occ+affinity / flat steal probes",
+               static_cast<double>(informed[1].attempts)
+                   / static_cast<double>(flat[1].attempts),
+               0.90);
+    ok &= gate("heat occ+affinity / distance elapsed",
+               informed[0].elapsed / distance[0].elapsed, 1.005);
+    ok &= gate("matmul occ+affinity / distance elapsed",
+               informed[1].elapsed / distance[1].elapsed, 1.005);
+    if (!ok) {
+        std::printf("FAIL: victim-policy acceptance gate violated\n");
+        return 1;
+    }
+    return 0;
+}

@@ -15,10 +15,13 @@
 #define NUMAWS_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "topology/affinity.h"
 
 #include "sim/scheduler.h"
 #include "support/cli.h"
@@ -192,14 +195,46 @@ class JsonRow
     std::vector<std::pair<std::string, std::string>> _fields;
 };
 
+/** Git revision for provenance: $GITHUB_SHA (CI) or `git rev-parse`,
+ * else "unknown". Resolved once per report. */
+inline std::string
+gitRevision()
+{
+    if (const char *sha = std::getenv("GITHUB_SHA"))
+        return sha;
+    std::string sha;
+    if (std::FILE *p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buf[64];
+        if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+            for (const char *c = buf; *c != '\0' && *c != '\n'; ++c)
+                sha += *c;
+        }
+        ::pclose(p);
+    }
+    return sha.empty() ? "unknown" : sha;
+}
+
 /**
  * Collects JsonRow objects and writes them as one JSON array, the format
  * CI archives as a build artifact (e.g. BENCH_adaptive.json).
+ *
+ * Every row is stamped with provenance on insertion — host core count
+ * and git sha — so a JSON file pulled from an artifact store months
+ * later still says what machine shape and revision produced it (the
+ * engine is a per-row field the benches set themselves).
  */
 class JsonReport
 {
   public:
-    void addRow(const JsonRow &row) { _rows.push_back(row.str()); }
+    JsonReport() : _hostCores(hostCpuCount()), _gitSha(gitRevision()) {}
+
+    void
+    addRow(const JsonRow &row)
+    {
+        JsonRow stamped = row;
+        stamped.set("host_cores", _hostCores).set("git_sha", _gitSha);
+        _rows.push_back(stamped.str());
+    }
 
     std::string
     str() const
@@ -226,6 +261,8 @@ class JsonReport
     std::size_t numRows() const { return _rows.size(); }
 
   private:
+    int _hostCores;
+    std::string _gitSha;
     std::vector<std::string> _rows;
 };
 

@@ -46,6 +46,7 @@
 #include "deque/mailbox.h"
 #include "deque/ws_deque.h"
 #include "runtime/task.h"
+#include "sched/occupancy.h"
 #include "sched/push_policy.h"
 #include "support/cache_aligned.h"
 #include "support/panic.h"
@@ -57,6 +58,7 @@
 
 namespace numaws {
 
+class PageMap;
 class Runtime;
 
 /** Hard cap on frames moved by one batched remote steal. */
@@ -80,8 +82,28 @@ struct RuntimeOptions
     PushPolicyConfig pushPolicy{};
     /** Hierarchical level-by-level victim search with escalation. */
     bool hierarchicalSteals = false;
-    /** Consecutive failed steals per level before widening the search. */
+    /** Consecutive failed steals per level before widening the search
+     * (the fixed budget, and the adaptive escalation's base). */
     int stealEscalationFailures = 2;
+    /** Fixed (constant budget) or Adaptive (per-level success-rate EWMA)
+     * escalation; only meaningful with hierarchicalSteals. */
+    EscalationPolicy escalationPolicy = EscalationPolicy::Fixed;
+    /**
+     * Victim-selection policy for hierarchical steals: Distance is PR 1's
+     * blind ladder; Occupancy consults the OccupancyBoard to skip dry
+     * levels and weight occupied victims; OccupancyAffinity additionally
+     * boosts sockets homing the thief's current task's data (via pageMap
+     * when set, else the task's place hint).
+     */
+    VictimPolicy victimPolicy = VictimPolicy::Distance;
+    /** Mailbox slots per worker (the paper's protocol is capacity 1). */
+    int mailboxCapacity = 1;
+    /**
+     * Optional page-home registry for data-home affinity (not owned;
+     * must outlive the runtime). Tasks spawned with a data range resolve
+     * their home sockets through it.
+     */
+    const PageMap *pageMap = nullptr;
     /** Steal-half batching for remote-level (>= two-hop) steals. */
     bool remoteStealHalf = false;
     /** Max frames one batched remote steal may move (clamped to 16). */
@@ -109,6 +131,8 @@ struct WorkerCounters
     uint64_t stealHalfBatches = 0;   ///< batched remote steals performed
     uint64_t stealHalfTasks = 0;     ///< tasks moved by batched steals
     uint64_t escalations = 0;        ///< hierarchical level widenings
+    uint64_t levelSkips = 0;         ///< dry levels skipped via the board
+    uint64_t dryPolls = 0;           ///< probes skipped on a dry board
 
     void merge(const WorkerCounters &o);
 };
@@ -146,6 +170,16 @@ class TaskGroup
      */
     template <typename F>
     void spawn(F &&fn, Place place = kInheritPlace);
+
+    /**
+     * Spawn @p fn annotated with the data range it chiefly touches.
+     * When the runtime has a PageMap (RuntimeOptions::pageMap), workers
+     * resolve the range's home sockets and use them as the data-home
+     * affinity signal for VictimPolicy::OccupancyAffinity steals.
+     */
+    template <typename F>
+    void spawn(F &&fn, Place place, const void *data,
+               std::size_t data_bytes);
 
     /** Wait for all spawned tasks, then rethrow the first exception. */
     void sync();
@@ -236,6 +270,15 @@ class Worker
         _bucket = b;
     }
 
+    /** Refresh the data-home affinity mask from @p task (executeTask). */
+    void noteAffinity(const TaskBase *task);
+
+    /** Informed victim selection active: publish to / read the board.
+     * Publications are gated on the same predicate as every reader, so
+     * a config that never consults the board never pays a single RMW
+     * for it. Defined after Runtime (needs its definition). */
+    bool boardInformed() const;
+
     Runtime &_runtime;
     int _id;
     Place _place;
@@ -245,6 +288,11 @@ class Worker
     Mailbox<TaskBase> _mailbox;
     PushPolicy _pushPolicy;
     StealEscalation _escalation;
+    /** Sockets homing the data of the task this worker last ran (bit s
+     * == socket s); feeds OccupancyAffinity victim weighting. */
+    uint32_t _affinityMask = 0;
+    /** Consecutive all-dry board polls; every 4th probes anyway. */
+    int _dryStreak = 0;
     WorkerCounters _counters;
     TimeSplit _time;
     TimeSplit::Bucket _bucket = TimeSplit::Idle;
@@ -276,6 +324,8 @@ class Runtime
     const RuntimeOptions &options() const { return _options; }
     const StealDistribution &stealDistribution() const { return _dist; }
     const Machine &machine() const { return _machine; }
+    OccupancyBoard &board() { return _board; }
+    const OccupancyBoard &board() const { return _board; }
 
     /** Workers on place @p p: [first, last). */
     std::pair<int, int> workersOfPlace(int p) const;
@@ -321,6 +371,7 @@ class Runtime
     RuntimeOptions _options;
     Machine _machine;
     StealDistribution _dist;
+    OccupancyBoard _board;
     std::vector<std::unique_ptr<Worker>> _workers;
     std::vector<std::thread> _threads;
 
@@ -340,9 +391,25 @@ class Runtime
 // Inline template implementations
 // ---------------------------------------------------------------------
 
+inline bool
+Worker::boardInformed() const
+{
+    const RuntimeOptions &o = _runtime.options();
+    return o.hierarchicalSteals
+           && o.victimPolicy != VictimPolicy::Distance;
+}
+
 template <typename F>
 void
 TaskGroup::spawn(F &&fn, Place place)
+{
+    spawn(std::forward<F>(fn), place, /*data=*/nullptr, /*data_bytes=*/0);
+}
+
+template <typename F>
+void
+TaskGroup::spawn(F &&fn, Place place, const void *data,
+                 std::size_t data_bytes)
 {
     Worker *w = Worker::current();
     NUMAWS_ASSERT(w != nullptr); // spawn only from inside run()
@@ -350,6 +417,8 @@ TaskGroup::spawn(F &&fn, Place place)
         place = w->currentHint();
     using Fn = std::decay_t<F>;
     auto *task = new TaskImpl<Fn>(this, place, std::forward<F>(fn));
+    if (data != nullptr && data_bytes > 0)
+        task->setData(data, data_bytes);
     onChildStart();
     ++w->counters().spawns;
     w->pushTask(task);

@@ -36,7 +36,8 @@ Runtime::Runtime(RuntimeOptions options)
       _dist(_machine,
             options.numWorkers > 0 ? options.numWorkers : hostCpuCount(),
             options.biasedSteals ? options.biasWeights
-                                 : BiasWeights::uniform())
+                                 : BiasWeights::uniform()),
+      _board(_dist.numWorkers(), _dist.workerSockets())
 {
     const int workers =
         _options.numWorkers > 0 ? _options.numWorkers : hostCpuCount();

@@ -1,5 +1,6 @@
 #include "runtime/runtime.h"
 
+#include "mem/page_map.h"
 #include "support/panic.h"
 #include "topology/affinity.h"
 
@@ -26,7 +27,22 @@ WorkerCounters::merge(const WorkerCounters &o)
     stealHalfBatches += o.stealHalfBatches;
     stealHalfTasks += o.stealHalfTasks;
     escalations += o.escalations;
+    levelSkips += o.levelSkips;
+    dryPolls += o.dryPolls;
 }
+
+namespace {
+
+EscalationConfig
+escalationConfigOf(const RuntimeOptions &opts)
+{
+    EscalationConfig cfg;
+    cfg.kind = opts.escalationPolicy;
+    cfg.failuresPerLevel = opts.stealEscalationFailures;
+    return cfg;
+}
+
+} // namespace
 
 Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
                std::size_t deque_capacity)
@@ -35,11 +51,17 @@ Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
       _place(place),
       _rng(seed),
       _deque(deque_capacity),
+      _mailbox(runtime.options().mailboxCapacity),
       _pushPolicy(runtime.options().pushThreshold,
                   runtime.options().pushPolicy),
-      _escalation(runtime.options().stealEscalationFailures),
+      _escalation(escalationConfigOf(runtime.options())),
       _mark(nowNs())
-{}
+{
+    // Mailbox occupancy reaches the board from inside tryPut/tryTake, so
+    // pushers and thieves publish transitions without extra call sites.
+    if (boardInformed())
+        _mailbox.attachBoard(&runtime.board(), id);
+}
 
 Worker *
 Worker::current()
@@ -51,15 +73,30 @@ void
 Worker::pushTask(TaskBase *task)
 {
     _deque.pushTail(task);
+    // Edge-triggered publish: free of RMWs while the bit already says
+    // nonempty, so the work path stays the paper's two stores.
+    if (boardInformed())
+        _runtime.board().publishDeque(_id, true);
     _runtime.notifyWork();
 }
 
 TaskBase *
 Worker::acquireLocal()
 {
+    const bool informed = boardInformed();
     // Work path first: the tail of the own deque...
-    if (TaskBase *t = _deque.popTail())
+    if (TaskBase *t = _deque.popTail()) {
+        // Publish the *actual* state, not just the pop-to-empty edge: a
+        // thief's dry-probe repair can race a push and wrongly clear the
+        // bit, and a worker draining a deep deque would otherwise never
+        // re-assert it. Edge-triggered publish makes the common
+        // (unchanged) case one relaxed load.
+        if (informed)
+            _runtime.board().publishDeque(_id, !_deque.empty());
         return t;
+    }
+    if (informed)
+        _runtime.board().publishDeque(_id, false);
     // ...then POPMAILBOX: a frame some worker parked here for this place.
     if (TaskBase *t = _mailbox.tryTake()) {
         ++_counters.mailboxTakes;
@@ -78,14 +115,50 @@ Worker::trySteal()
 {
     if (_runtime.numWorkers() <= 1)
         return nullptr;
-    ++_counters.stealAttempts;
     const RuntimeOptions &opts = _runtime.options();
     const StealDistribution &dist = _runtime.stealDistribution();
+    OccupancyBoard &board = _runtime.board();
+    const bool informed = boardInformed();
+    // Board poll in place of a probe: when nothing anywhere advertises
+    // work, skip the victim probe entirely — that is the probe the board
+    // was built to save. Every 4th consecutive dry poll still probes
+    // (insurance: a false-empty board may lag reality), so starvation is
+    // impossible, merely delayed by a bounded factor.
+    bool board_dry = false;
+    if (informed && !board.anyWorkFor(_place)) {
+        _dryStreak = (_dryStreak + 1) & 3; // wrap: no overflow while idle
+        if (_dryStreak != 0) {
+            ++_counters.dryPolls;
+            return nullptr;
+        }
+        board_dry = true;
+    } else {
+        _dryStreak = 0;
+    }
+    ++_counters.stealAttempts;
     int victim_id;
+    int probed_level = -1; // level the probe sampled at (EWMA credit)
     if (opts.hierarchicalSteals) {
         // Level-by-level search: sample only within the current
         // escalation radius; failures below widen it, success resets it.
-        victim_id = dist.sampleAtLevel(_id, _escalation.level(), _rng);
+        int level = _escalation.level();
+        if (informed) {
+            // Board consult: jump past provably-dry levels without
+            // burning the failures-per-level budget on them (the skip
+            // and the weighted pick share one board snapshot). An
+            // all-dry insurance probe widens to the outermost level
+            // too, but that is not a board-informed skip — don't count
+            // it as one.
+            const int ladder_level = level;
+            victim_id = dist.sampleVictimInformed(
+                _id, &level, opts.victimPolicy, board, _affinityMask,
+                _rng);
+            if (level != ladder_level && !board_dry)
+                ++_counters.levelSkips;
+        } else {
+            victim_id = dist.sampleAtLevel(_id, level, _rng);
+        }
+        probed_level = level;
     } else {
         victim_id = dist.sample(_id, _rng);
     }
@@ -96,7 +169,18 @@ Worker::trySteal()
     // BIASEDSTEALWITHPUSH: flip a coin between the victim's mailbox and
     // its deque. Always checking the mailbox first would let a critical
     // node at a deque head starve (Section IV).
-    if (opts.useMailboxes && _rng.flip()) {
+    bool check_mailbox = opts.useMailboxes && _rng.flip();
+    // One-sided informed override: a *set* mailbox bit is never invented
+    // (board contract), so steering the inspection toward it is sound.
+    // An *unset* bit may be false-empty, so it must never suppress the
+    // mailbox check — the coin's 50% inspection is the repair mechanism
+    // that eventually finds a parked frame whose publication was lost,
+    // even while the victim's deque stays nonempty forever.
+    if (informed && opts.useMailboxes
+        && board.mailboxOccupied(victim_id)
+        && !board.dequeNonempty(victim_id))
+        check_mailbox = true;
+    if (check_mailbox) {
         task = victim.mailbox().tryTake();
         from_mailbox = task != nullptr;
         // Outcome 1 (mailbox empty): fall through to the deque.
@@ -121,18 +205,22 @@ Worker::trySteal()
         } else {
             task = victim.deque().stealHead();
         }
+        // The probe already paid for the cache traffic: repair the
+        // victim's staleness (a 1-bit over an empty deque) for free.
+        if (informed && victim.deque().empty())
+            board.publishDeque(victim_id, false);
     }
     if (task == nullptr) {
         if (opts.hierarchicalSteals) {
             const int before = _escalation.level();
-            _escalation.onFailedSteal();
+            _escalation.onFailedSteal(probed_level);
             if (_escalation.level() != before)
                 ++_counters.escalations;
         }
         return nullptr;
     }
     if (opts.hierarchicalSteals)
-        _escalation.onSuccessfulSteal();
+        _escalation.onSuccessfulSteal(probed_level);
 
     // Successful steal: everything past this point is scheduler
     // bookkeeping, charged to scheduling time (the span term).
@@ -151,6 +239,8 @@ Worker::trySteal()
             batch[i]->markStolen();
             _deque.pushTail(batch[i]);
         }
+        if (informed)
+            board.publishDeque(_id, true);
         _runtime.notifyWork();
     }
     // Promotion analogue: the task has now migrated off its spawner.
@@ -207,12 +297,40 @@ Worker::pushBack(TaskBase *task)
 }
 
 void
+Worker::noteAffinity(const TaskBase *task)
+{
+    // Data-home affinity for OccupancyAffinity steals: resolve the
+    // task's annotated data range through the PageMap (first and last
+    // page are enough — registrations are contiguous per policy); tasks
+    // without an annotation fall back to their place hint.
+    uint32_t mask = 0;
+    const PageMap *pm = _runtime.options().pageMap;
+    if (pm != nullptr && task->dataBytes() > 0) {
+        const int first = pm->homeOf(task->dataAddr());
+        const int last =
+            pm->homeOf(task->dataAddr() + task->dataBytes() - 1);
+        if (first >= 0 && first < 32)
+            mask |= 1u << first;
+        if (last >= 0 && last < 32)
+            mask |= 1u << last;
+    } else if (isConcretePlace(task->place()) && task->place() < 32) {
+        mask = 1u << task->place();
+    }
+    if (mask != 0)
+        _affinityMask = mask;
+}
+
+void
 Worker::executeTask(TaskBase *task)
 {
     switchBucket(TimeSplit::Work);
     const Place prev_hint = _currentHint;
     _currentHint = task->place();
     ++_counters.tasksExecuted;
+    if (boardInformed()
+        && _runtime.options().victimPolicy
+               == VictimPolicy::OccupancyAffinity)
+        noteAffinity(task);
     if (isConcretePlace(task->place()) && task->place() == _place)
         ++_counters.tasksOnHintedPlace;
 

@@ -1,0 +1,54 @@
+#include "sched/occupancy.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/panic.h"
+
+namespace numaws {
+
+OccupancyBoard::OccupancyBoard(int workers,
+                               const std::vector<int> &worker_socket)
+    : _numWorkers(workers)
+{
+    NUMAWS_ASSERT(workers >= 0);
+    NUMAWS_ASSERT(worker_socket.size()
+                  == static_cast<std::size_t>(workers));
+    if (workers == 0)
+        return;
+
+    _socketOf = worker_socket;
+    _numSockets =
+        1 + *std::max_element(_socketOf.begin(), _socketOf.end());
+    NUMAWS_ASSERT(*std::min_element(_socketOf.begin(), _socketOf.end())
+                  >= 0);
+
+    // Bit index = arrival order within the socket, aliased modulo 64 for
+    // implausibly wide sockets (alias clears are false-empty: allowed).
+    _maskOf.resize(static_cast<std::size_t>(workers));
+    std::vector<int> next_bit(static_cast<std::size_t>(_numSockets), 0);
+    for (int w = 0; w < workers; ++w) {
+        const int bit = next_bit[_socketOf[w]]++ % 64;
+        _maskOf[w] = 1ULL << bit;
+    }
+
+    _words = std::make_unique<SocketWords[]>(
+        static_cast<std::size_t>(_numSockets));
+}
+
+std::string
+OccupancyBoard::describe() const
+{
+    std::ostringstream out;
+    out << "occupancy[" << _numWorkers << "w/" << _numSockets << "s:";
+    for (int s = 0; s < _numSockets; ++s) {
+        if (s > 0)
+            out << ' ';
+        out << "d=" << std::hex << dequeBits(s) << ",m=" << mailboxBits(s)
+            << std::dec;
+    }
+    out << ']';
+    return out.str();
+}
+
+} // namespace numaws

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "deque/mailbox.h"
 #include "support/panic.h"
 
 namespace numaws::sim {
@@ -38,7 +39,12 @@ struct CoreState
     double clock = 0.0;
     Continuation cur;
     std::deque<Continuation> deq; ///< back == tail (owner), front == head
-    std::optional<Continuation> mailbox;
+    /** Parked frames, oldest first; bounded by SimConfig::mailboxCapacity
+     * (the paper's single-entry mailbox is capacity 1). */
+    std::deque<Continuation> mailbox;
+    /** Sockets homing the regions of the last strand this core executed
+     * (bit s == socket s); feeds OccupancyAffinity victim weighting. */
+    uint32_t affinity = 0;
     /**
      * Extras from a batched remote steal, already promoted, drained in
      * the scheduling loop before the next steal attempt. Private to this
@@ -52,6 +58,9 @@ struct CoreState
     Rng rng{0};
     StealEscalation esc;
     PushPolicy push;
+    /** Consecutive all-dry board polls; every 4th falls through to a
+     * real outermost probe (insurance against a false-empty board). */
+    int dryStreak = 0;
 
     double workCycles = 0.0;
     double schedCycles = 0.0;
@@ -84,16 +93,25 @@ class Simulation
           _dist(machine, cores,
                 config.biasedSteals ? config.biasWeights
                                     : BiasWeights::uniform()),
+          _board(cores, _dist.workerSockets()),
           _memory(machine, dag, latency),
           _frames(dag.numFrames()),
           _cores(static_cast<std::size_t>(cores))
     {
         NUMAWS_ASSERT(cores >= 1);
+        // Clamp exactly like the threaded Mailbox does, so a cross-engine
+        // run with an out-of-range capacity compares like with like.
+        if (_cfg.mailboxCapacity < 1)
+            _cfg.mailboxCapacity = 1;
+        if (_cfg.mailboxCapacity > kMaxMailboxCapacity)
+            _cfg.mailboxCapacity = kMaxMailboxCapacity;
+        EscalationConfig esc_cfg;
+        esc_cfg.kind = config.escalationPolicy;
+        esc_cfg.failuresPerLevel = config.stealEscalationFailures;
         uint64_t seed_state = config.seed;
         for (int c = 0; c < cores; ++c) {
             _cores[c].rng = Rng(splitmix64(seed_state));
-            _cores[c].esc =
-                StealEscalation(config.stealEscalationFailures);
+            _cores[c].esc = StealEscalation(esc_cfg);
             _cores[c].push =
                 PushPolicy(config.pushThreshold, config.pushPolicy);
         }
@@ -158,8 +176,8 @@ class Simulation
                 first
                 + static_cast<int>(_cores[core].rng.nextBounded(
                     static_cast<uint64_t>(last - first)));
-            if (receiver != core && !_cores[receiver].mailbox.has_value()) {
-                _cores[receiver].mailbox = cont;
+            if (receiver != core && mailboxHasRoom(receiver)) {
+                mailboxDeposit(receiver, cont);
                 ++_counters.pushSuccesses;
                 policy.onPushSuccess();
                 pushed = true;
@@ -181,11 +199,69 @@ class Simulation
     std::pair<double, Charge> stepSchedulingLoop(int core);
     std::pair<double, Charge> stepStealAttempt(int core);
 
+    /** @name Deque/mailbox mutations, each publishing to the board
+     * The sim is sequential, so the board is exact: every transition is
+     * published at the mutation site, the same contract the threaded
+     * runtime approximates. */
+    /// @{
+    void
+    dequePushBack(int core, Continuation cont)
+    {
+        _cores[core].deq.push_back(cont);
+        _board.publishDeque(core, true);
+    }
+
+    Continuation
+    dequePopBack(int core)
+    {
+        Continuation cont = _cores[core].deq.back();
+        _cores[core].deq.pop_back();
+        if (_cores[core].deq.empty())
+            _board.publishDeque(core, false);
+        return cont;
+    }
+
+    Continuation
+    dequePopFront(int core)
+    {
+        Continuation cont = _cores[core].deq.front();
+        _cores[core].deq.pop_front();
+        if (_cores[core].deq.empty())
+            _board.publishDeque(core, false);
+        return cont;
+    }
+
+    bool
+    mailboxHasRoom(int core) const
+    {
+        return static_cast<int>(_cores[core].mailbox.size())
+               < _cfg.mailboxCapacity;
+    }
+
+    void
+    mailboxDeposit(int receiver, Continuation cont)
+    {
+        _cores[receiver].mailbox.push_back(cont);
+        _board.publishMailbox(receiver, true);
+    }
+
+    Continuation
+    mailboxTake(int core)
+    {
+        Continuation cont = _cores[core].mailbox.front();
+        _cores[core].mailbox.pop_front();
+        if (_cores[core].mailbox.empty())
+            _board.publishMailbox(core, false);
+        return cont;
+    }
+    /// @}
+
     const ComputationDag &_dag;
     const Machine &_machine;
     SimConfig _cfg;
     int _numCores;
     StealDistribution _dist;
+    OccupancyBoard _board;
     SimMemory _memory;
     std::vector<FrameState> _frames;
     std::vector<CoreState> _cores;
@@ -205,8 +281,7 @@ Simulation::stepReturn(int core)
         // Parent's continuation is still ours: pop and keep going
         // (Figure 2 lines 3-5). With continuation stealing the tail is
         // necessarily the immediate parent.
-        const Continuation parent = c.deq.back();
-        c.deq.pop_back();
+        const Continuation parent = dequePopBack(core);
         NUMAWS_ASSERT(parent.frame == f.parent);
         c.cur = parent;
         return {_cfg.returnCost, Charge::Work};
@@ -248,6 +323,22 @@ Simulation::stepExecute(int core)
         ++_counters.strandsExecuted;
         const double mem = _memory.cost(socketOf(core), item.accessBegin,
                                         item.accessEnd, _mem_counters);
+        if (_cfg.victimPolicy == VictimPolicy::OccupancyAffinity
+            && item.accessBegin != item.accessEnd) {
+            // Remember where this strand's data lives: the thief-side
+            // affinity signal for OccupancyAffinity victim weighting.
+            uint32_t mask = 0;
+            const int sockets = _machine.numSockets();
+            for (uint32_t a = item.accessBegin; a != item.accessEnd;
+                 ++a) {
+                const MemAccess &acc = _dag.access(a);
+                const int home =
+                    _dag.homeOf(acc.region, acc.offset, sockets);
+                if (home < 32) // affinity masks cover 32 sockets
+                    mask |= 1u << home;
+            }
+            c.affinity = mask;
+        }
         ++c.cur.item;
         return {item.cycles + mem, Charge::Work};
       }
@@ -256,7 +347,7 @@ Simulation::stepExecute(int core)
         // Push the continuation; descend into the child (Figure 2 lines
         // 1-2). This is continuation stealing: the child runs here, the
         // parent's remainder becomes stealable.
-        c.deq.push_back(Continuation{c.cur.frame, c.cur.item + 1});
+        dequePushBack(core, Continuation{c.cur.frame, c.cur.item + 1});
         c.cur = Continuation{item.child,
                              _dag.frame(item.child).itemBegin};
         return {_cfg.spawnCost, Charge::Work};
@@ -306,33 +397,91 @@ Simulation::stepStealAttempt(int core)
     if (_numCores <= 1)
         return {_cfg.stealAttemptBase, Charge::Idle};
 
+    const bool informed = _cfg.hierarchicalSteals
+                          && _cfg.victimPolicy != VictimPolicy::Distance;
+    // The probe the board exists to save: when no deque or mailbox
+    // anywhere advertises work, polling the board replaces the victim
+    // probe outright. Every 4th consecutive dry poll still probes (at
+    // the outermost level, which firstLiveLevel yields on an all-dry
+    // board), so a board that falsely reads empty delays work pickup by
+    // a bounded factor instead of starving anyone.
+    bool board_dry = false;
+    if (informed) {
+        if (!_board.anyWorkFor(socketOf(core))) {
+            c.dryStreak = (c.dryStreak + 1) & 3; // wrap: no overflow
+            if (c.dryStreak != 0) {
+                ++_counters.boardDryPolls;
+                return {_cfg.boardCheckCost, Charge::Idle};
+            }
+            board_dry = true;
+        } else {
+            c.dryStreak = 0;
+        }
+    }
     ++_counters.stealAttempts;
-    const int victim = _cfg.hierarchicalSteals
-                           ? _dist.sampleAtLevel(core, c.esc.level(), c.rng)
-                           : _dist.sample(core, c.rng);
+    int victim;
+    int probed_level = -1; // level the probe sampled at (EWMA credit)
+    if (_cfg.hierarchicalSteals) {
+        int level = c.esc.level();
+        if (informed) {
+            // Board consult: jump past provably-dry levels without
+            // burning the failures-per-level budget on them (the skip
+            // and the weighted pick share one board snapshot). An
+            // all-dry insurance probe widens to the outermost level
+            // too, but that is not a board-informed skip — don't count
+            // it as one.
+            const int ladder_level = level;
+            victim = _dist.sampleVictimInformed(core, &level,
+                                                _cfg.victimPolicy, _board,
+                                                c.affinity, c.rng);
+            if (level != ladder_level && !board_dry)
+                ++_counters.levelSkips;
+        } else {
+            victim = _dist.sampleAtLevel(core, level, c.rng);
+        }
+        probed_level = level;
+    } else {
+        victim = _dist.sample(core, c.rng);
+    }
     const int hops = _machine.hops(socketOf(core), socketOf(victim));
     double cost = _cfg.stealAttemptBase + _cfg.stealPerHop * hops;
+    // An informed probe consulted the board (snapshot + bit reads) to
+    // pick its level and victim: price that consult on every informed
+    // attempt, not only on the dry-poll early return, so the policy
+    // ablation compares like with like.
+    if (informed)
+        cost += _cfg.boardCheckCost;
 
     Continuation got;
 
-    // BIASEDSTEALWITHPUSH: coin flip between deque and mailbox.
-    if (_cfg.useMailboxes && (!_cfg.coinFlip || c.rng.flip())) {
+    // BIASEDSTEALWITHPUSH: coin flip between deque and mailbox. The
+    // informed override is one-sided, mirroring the runtime: a set
+    // mailbox bit (never invented) may force the inspection toward the
+    // parked frame, but an unset bit must not suppress it — in the
+    // threaded runtime a false-empty bit would otherwise strand a
+    // parked frame for as long as the victim's deque stays nonempty,
+    // with the coin as the only repair. (The sim's board is exact, but
+    // the engines must price the same protocol.)
+    bool check_mailbox = _cfg.useMailboxes && (!_cfg.coinFlip || c.rng.flip());
+    if (informed && _cfg.useMailboxes
+        && _board.mailboxOccupied(victim)
+        && !_board.dequeNonempty(victim))
+        check_mailbox = true;
+    if (check_mailbox) {
         cost += _cfg.mailboxCheckCost;
-        if (_cores[victim].mailbox.has_value()) {
-            const Continuation cont = *_cores[victim].mailbox;
+        if (!_cores[victim].mailbox.empty()) {
+            const Continuation cont = mailboxTake(victim);
             const Place p = _dag.frame(cont.frame).place;
             if (!placeMismatch(core, p)) {
                 // Outcome 2: earmarked for us (or unconstrained): take it.
-                _cores[victim].mailbox.reset();
                 got = cont;
             } else {
                 // Outcome 3: earmarked elsewhere: push it onward; if the
                 // threshold is exhausted we take it ourselves.
-                _cores[victim].mailbox.reset();
                 if (pushBack(core, cont, cost)) {
                     // Work was found (and forwarded): not a failed probe.
                     if (_cfg.hierarchicalSteals)
-                        c.esc.onSuccessfulSteal();
+                        c.esc.onSuccessfulSteal(probed_level);
                     return {cost, Charge::Sched};
                 }
                 got = cont;
@@ -344,8 +493,7 @@ Simulation::stepStealAttempt(int core)
     if (!got.valid()) {
         CoreState &v = _cores[victim];
         if (!v.deq.empty()) {
-            got = v.deq.front();
-            v.deq.pop_front();
+            got = dequePopFront(victim);
             // Promotion: the frame is now (again) a stolen full frame,
             // and the victim keeps executing one outstanding child.
             ++_counters.steals;
@@ -366,8 +514,7 @@ Simulation::stepStealAttempt(int core)
                 if (extras > _cfg.stealHalfMax - 1)
                     extras = _cfg.stealHalfMax - 1;
                 for (int i = 0; i < extras; ++i) {
-                    Continuation extra = v.deq.front();
-                    v.deq.pop_front();
+                    Continuation extra = dequePopFront(victim);
                     FrameState &es = _frames[extra.frame];
                     es.stolen = true;
                     ++es.joinCount;
@@ -384,7 +531,7 @@ Simulation::stepStealAttempt(int core)
             if (placeMismatch(core, _dag.frame(got.frame).place)) {
                 if (pushBack(core, got, cost)) {
                     if (_cfg.hierarchicalSteals)
-                        c.esc.onSuccessfulSteal();
+                        c.esc.onSuccessfulSteal(probed_level);
                     return {cost, Charge::Sched};
                 }
             }
@@ -395,12 +542,12 @@ Simulation::stepStealAttempt(int core)
 
     if (got.valid()) {
         if (_cfg.hierarchicalSteals)
-            c.esc.onSuccessfulSteal();
+            c.esc.onSuccessfulSteal(probed_level);
         c.cur = got;
         return {cost, Charge::Sched};
     }
     if (_cfg.hierarchicalSteals)
-        c.esc.onFailedSteal();
+        c.esc.onFailedSteal(probed_level);
     return {cost, Charge::Idle};
 }
 
@@ -430,9 +577,8 @@ Simulation::stepSchedulingLoop(int core)
     }
 
     // POPMAILBOX (Figure 5 line 26): something parked for this place?
-    if (c.mailbox.has_value()) {
-        c.cur = *c.mailbox;
-        c.mailbox.reset();
+    if (!c.mailbox.empty()) {
+        c.cur = mailboxTake(core);
         ++_counters.mailboxPops;
         return {_cfg.mailboxCheckCost, Charge::Sched};
     }

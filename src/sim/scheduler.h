@@ -72,8 +72,23 @@ struct SimConfig
     PushPolicyConfig pushPolicy{};
     /** Hierarchical level-by-level victim search with escalation. */
     bool hierarchicalSteals = false;
-    /** Consecutive failed steals per level before widening the search. */
+    /** Consecutive failed steals per level before widening the search
+     * (fixed budget / adaptive base). */
     int stealEscalationFailures = 2;
+    /** Fixed (constant budget) or Adaptive (per-level success-rate EWMA)
+     * escalation; only meaningful with hierarchicalSteals. */
+    EscalationPolicy escalationPolicy = EscalationPolicy::Fixed;
+    /**
+     * Victim selection for hierarchical steals: Distance is the blind
+     * PR 1 ladder; Occupancy consults the simulated OccupancyBoard
+     * (exact here: the sim publishes every deque/mailbox transition) to
+     * skip dry levels and weight occupied victims; OccupancyAffinity
+     * additionally boosts sockets homing the regions of the strand this
+     * core last executed.
+     */
+    VictimPolicy victimPolicy = VictimPolicy::Distance;
+    /** Mailbox slots per core (the paper's protocol is capacity 1). */
+    int mailboxCapacity = 1;
     /** Steal-half batching for remote-level (>= two-hop) steals. */
     bool remoteStealHalf = false;
     /** Max continuations one batched remote steal may move (matches
@@ -94,6 +109,13 @@ struct SimConfig
     double mailboxCheckCost = 40.0;  ///< POPMAILBOX / mailbox inspection
     double pushAttemptCost = 140.0;  ///< one PUSHBACK attempt
     double batchExtraCost = 60.0;    ///< per extra frame in a batched steal
+    /** Reading the occupancy board: ~2 words per socket of read-mostly
+     * shared lines, mostly L1/L2 hits after the first scan. Charged on
+     * a dry poll that *replaces* a victim probe AND on every informed
+     * probe (the consult that steered it), so the policy ablation
+     * prices the board on both paths. Far below stealAttemptBase by
+     * design. */
+    double boardCheckCost = 16.0;
     /// @}
 
     /** Zero all runtime overheads: the serial elision (TS). */

@@ -22,12 +22,50 @@
 #ifndef NUMAWS_TOPOLOGY_STEAL_DISTRIBUTION_H
 #define NUMAWS_TOPOLOGY_STEAL_DISTRIBUTION_H
 
+#include <cstdint>
 #include <vector>
 
+#include "sched/occupancy.h"
 #include "support/rng.h"
 #include "topology/machine.h"
 
 namespace numaws {
+
+/**
+ * How hierarchical victim selection uses runtime information.
+ *
+ * Distance reproduces PR 1's blind ladder: uniform sampling within the
+ * escalation radius, ordered by topology alone. Occupancy additionally
+ * consults the OccupancyBoard: provably-dry levels are skipped without
+ * burning the failures-per-level budget, and victims with published work
+ * are weighted up. OccupancyAffinity further boosts victims on sockets
+ * that home the thief's current data regions (PageMap/NumaArena homing in
+ * the runtime; region homes in the simulator), so a thief gravitates to
+ * the socket its working set lives on. Each step is separately ablatable.
+ */
+enum class VictimPolicy : uint8_t
+{
+    Distance,
+    Occupancy,
+    OccupancyAffinity,
+};
+
+/** Stable name for bench JSON / CLI ("distance", "occupancy",
+ * "occupancy+affinity"). */
+const char *victimPolicyName(VictimPolicy p);
+
+/** Floor for the occupancy weight multiplier. The effective boost is
+ * max(kOccupancyBoost, 2 * configured distance spread), computed per
+ * StealDistribution, so occupancy always dominates distance: a dry
+ * nearby victim never outranks an occupied remote one, whatever
+ * BiasWeights the user configured. With the default 8:2:1 weights the
+ * effective boost is exactly this floor. */
+inline constexpr double kOccupancyBoost = 16.0;
+
+/** Weight multiplier for a victim on a socket homing the thief's data.
+ * Smaller than the distance spread, so equal-affinity candidates are
+ * still ordered by distance (affinity ties break by distance). */
+inline constexpr double kAffinityBoost = 2.0;
 
 /** Per-hop-count steal weights; index 0 is the local socket. */
 struct BiasWeights
@@ -65,33 +103,124 @@ inline constexpr int kNumStealLevels = 4;
 inline constexpr int kCoreGroupSize = 2;
 
 /**
+ * How the escalation ladder sets its failures-per-level budget.
+ *
+ * Fixed reproduces PR 1: a constant budget at every level. Adaptive
+ * derives each level's budget from an EWMA of the steal-success rate
+ * observed *at that level*: a level that keeps paying off earns patience
+ * (budget grows toward twice the base), a level that keeps failing is
+ * abandoned after as little as one failure. Both stay within
+ * [minFailures, maxFailures], so escalation still reaches the outermost
+ * level after a bounded number of failures and the steal bound keeps its
+ * constant factor.
+ */
+enum class EscalationPolicy : uint8_t
+{
+    Fixed,
+    Adaptive,
+};
+
+/** Escalation-ladder tuning; the EWMA fields matter only to Adaptive. */
+struct EscalationConfig
+{
+    EscalationPolicy kind = EscalationPolicy::Fixed;
+    /** Fixed budget, and the Adaptive rule's base (budget at rate 0.5). */
+    int failuresPerLevel = 2;
+    /** Clamp for the adaptive budget. */
+    int minFailures = 1;
+    int maxFailures = 8;
+    /** Weight of the newest steal outcome in the per-level EWMA. */
+    double ewmaAlpha = 0.25;
+};
+
+/**
  * Per-thief escalation ladder for hierarchical stealing.
  *
  * A thief starts at its innermost nonempty level; each run of
- * @p failures_per_level consecutive failed steal attempts widens the
- * search by one level, and a successful acquisition narrows it by one
- * level (not a full reset: under steady cross-socket load the ladder
- * settles at the level where work actually is, instead of re-climbing
- * from the core level after every hit). Escalation reaches kLevelRemote
- * (all victims) after at most failures_per_level * kNumStealLevels
- * failures, which keeps the steal bound within a constant factor of the
- * flat scheme.
+ * failureBudget() consecutive failed steal attempts widens the search by
+ * one level, and a successful acquisition narrows it by one level (not a
+ * full reset: under steady cross-socket load the ladder settles at the
+ * level where work actually is, instead of re-climbing from the core
+ * level after every hit). Escalation reaches kLevelRemote (all victims)
+ * after at most maxFailures * kNumStealLevels failures, which keeps the
+ * steal bound within a constant factor of the flat scheme.
+ *
+ * Under EscalationPolicy::Adaptive the budget self-tunes from the
+ * observed per-level steal-success rate (see EscalationPolicy docs); the
+ * Fixed policy is the PR 1 behavior, kept for ablation.
  */
 class StealEscalation
 {
   public:
+    /** Fixed-policy ladder with a constant budget (PR 1 behavior). */
     explicit StealEscalation(int failures_per_level = 2)
-        : _failuresPerLevel(failures_per_level > 0 ? failures_per_level : 1)
-    {}
+    {
+        _cfg.failuresPerLevel =
+            failures_per_level > 0 ? failures_per_level : 1;
+        initRates();
+    }
+
+    explicit StealEscalation(const EscalationConfig &cfg) : _cfg(cfg)
+    {
+        if (_cfg.failuresPerLevel < 1)
+            _cfg.failuresPerLevel = 1;
+        if (_cfg.minFailures < 1)
+            _cfg.minFailures = 1;
+        if (_cfg.maxFailures < _cfg.minFailures)
+            _cfg.maxFailures = _cfg.minFailures;
+        if (_cfg.ewmaAlpha <= 0.0 || _cfg.ewmaAlpha > 1.0)
+            _cfg.ewmaAlpha = 0.25;
+        initRates();
+    }
 
     int level() const { return _level; }
     bool atOutermostLevel() const { return _level == kNumStealLevels - 1; }
+    const EscalationConfig &config() const { return _cfg; }
 
-    /** A steal attempt found nothing: maybe widen the search. */
-    void
-    onFailedSteal()
+    /**
+     * Consecutive failures tolerated before widening, judged at the
+     * level the probes are actually sampling (the board's level-skip
+     * can probe wider than the ladder sits — evidence and budget must
+     * come from the same level, or the adaptive rule would freeze at
+     * the prior and degenerate to Fixed). Fixed: the constant.
+     * Adaptive: 2 * base * successRate, clamped — at the neutral rate
+     * 0.5 this equals the fixed budget, so the two policies start out
+     * identical and diverge only with evidence.
+     */
+    int
+    failureBudgetAt(int level) const
     {
-        if (++_failures >= _failuresPerLevel
+        if (_cfg.kind == EscalationPolicy::Fixed)
+            return _cfg.failuresPerLevel;
+        const int at =
+            level >= 0 && level < kNumStealLevels ? level : _level;
+        const int b = static_cast<int>(2.0 * _cfg.failuresPerLevel
+                                           * _rate[at]
+                                       + 0.5);
+        return b < _cfg.minFailures
+                   ? _cfg.minFailures
+                   : (b > _cfg.maxFailures ? _cfg.maxFailures : b);
+    }
+
+    /** failureBudgetAt() at the ladder's own level. */
+    int failureBudget() const { return failureBudgetAt(_level); }
+
+    /** EWMA steal-success rate observed at @p level (test hook). */
+    double successRate(int level) const { return _rate[level]; }
+
+    /**
+     * A steal attempt found nothing: maybe widen the search.
+     * @param probed_level the level the probe actually sampled at — the
+     *        board's level-skip can widen past the ladder's level, and
+     *        the EWMA must credit the level that produced the outcome,
+     *        not the level the ladder sat at. Defaults to the ladder
+     *        level (the blind-search case).
+     */
+    void
+    onFailedSteal(int probed_level = -1)
+    {
+        observe(probed_level, 0.0);
+        if (++_failures >= failureBudgetAt(probed_level)
             && _level < kNumStealLevels - 1) {
             ++_level;
             _failures = 0;
@@ -100,17 +229,38 @@ class StealEscalation
 
     /** Work was acquired: narrow the search by one level. */
     void
-    onSuccessfulSteal()
+    onSuccessfulSteal(int probed_level = -1)
     {
+        observe(probed_level, 1.0);
         if (_level > 0)
             --_level;
         _failures = 0;
     }
 
   private:
-    int _failuresPerLevel;
+    void
+    initRates()
+    {
+        for (double &r : _rate)
+            r = 0.5; // neutral prior: adaptive starts at the fixed budget
+    }
+
+    void
+    observe(int probed_level, double outcome)
+    {
+        if (_cfg.kind != EscalationPolicy::Adaptive)
+            return;
+        const int at = probed_level >= 0 && probed_level < kNumStealLevels
+                           ? probed_level
+                           : _level;
+        _rate[at] = (1.0 - _cfg.ewmaAlpha) * _rate[at]
+                    + _cfg.ewmaAlpha * outcome;
+    }
+
+    EscalationConfig _cfg;
     int _level = 0;
     int _failures = 0;
+    double _rate[kNumStealLevels] = {};
 };
 
 /**
@@ -141,6 +291,10 @@ class StealDistribution
     /** Socket a worker belongs to under the even-spread policy. */
     int socketOfWorker(int worker) const { return _workerSocket[worker]; }
 
+    /** Socket of every worker, the shape OccupancyBoard's constructor
+     * takes. */
+    const std::vector<int> &workerSockets() const { return _workerSocket; }
+
     /**
      * Sample a victim for @p thief; never returns the thief itself.
      */
@@ -170,9 +324,100 @@ class StealDistribution
     int sampleAtLevel(int thief, int level, Rng &rng) const;
     /// @}
 
+    /** @name Informed (occupancy/affinity-weighted) victim search */
+    /// @{
+    /**
+     * Does @p victim hold work @p thief can use? Deque work counts from
+     * anywhere; mailbox work only on the thief's own socket, because
+     * PUSHBACK parks frames on their *place* — a cross-socket thief
+     * taking one mostly forwards it straight back (churn, not
+     * progress).
+     */
+    bool
+    victimLive(int thief, int victim, const OccupancyBoard &board) const
+    {
+        if (board.dequeNonempty(victim))
+            return true;
+        return _workerSocket[thief] == _workerSocket[victim]
+               && board.mailboxOccupied(victim);
+    }
+
+    /**
+     * Smallest level >= @p level whose victim prefix contains a worker
+     * with published work — the escalation level-skip: a thief jumps
+     * straight past provably-dry levels without burning its
+     * failures-per-level budget there. When the board shows no work at
+     * any level the result is the outermost level: every level is
+     * provably dry, so the (insurance) probe that still runs validates
+     * the whole machine at once instead of a ladder of cheap local
+     * misses. The probe itself never stops, so a false-empty board can
+     * delay but never prevent any victim being reached.
+     */
+    int firstLiveLevel(int thief, int level,
+                       const OccupancyBoard &board) const;
+
+    /**
+     * Sampling weight of @p victim for @p thief: the product of the
+     * distance bias (perHop weights), kOccupancyBoost when the board
+     * shows work at the victim, and kAffinityBoost when policy is
+     * OccupancyAffinity and the victim's socket is in
+     * @p affinity_sockets (bit s == thief's data homed on socket s).
+     * Strictly positive for every victim, so every victim keeps
+     * probability >= 1/(cP) within the sampled prefix — the Section IV
+     * lower bound survives with c <= kOccupancyBoost * kAffinityBoost *
+     * max-distance-spread.
+     */
+    double victimWeight(int thief, int victim, VictimPolicy policy,
+                        const OccupancyBoard &board,
+                        uint32_t affinity_sockets) const;
+
+    /**
+     * Weighted sample among victims at level <= @p level per
+     * victimWeight(); VictimPolicy::Distance (or a null/empty board)
+     * degenerates to sampleAtLevel(). Never returns the thief. No
+     * level-skip — engines use sampleVictimInformed(), which performs
+     * skip and sample against one board snapshot.
+     */
+    int sampleVictim(int thief, int level, VictimPolicy policy,
+                     const OccupancyBoard *board,
+                     uint32_t affinity_sockets, Rng &rng) const;
+
+    /**
+     * The engines' steal-path entry point: firstLiveLevel() level-skip
+     * plus weighted sampling, both evaluated against a single board
+     * snapshot (one pair of loads per socket per attempt, and the level
+     * choice and the weights cannot disagree about a flipping bit).
+     * @param level_io in: the escalation ladder's level; out: the level
+     *        actually sampled (callers diff the two to count skips).
+     */
+    int sampleVictimInformed(int thief, int *level_io, VictimPolicy policy,
+                             const OccupancyBoard &board,
+                             uint32_t affinity_sockets, Rng &rng) const;
+    /// @}
+
   private:
+    /** One-shot copy of the board's socket words (defined in the .cc). */
+    struct Snap;
+
+    /** victimWeight with the liveness verdict precomputed (sampling
+     * evaluates it against one board snapshot for consistency). */
+    double weightOf(int thief, int victim, VictimPolicy policy, bool live,
+                    uint32_t affinity_sockets) const;
+
+    /** firstLiveLevel() against an existing snapshot. */
+    int liveLevelFrom(int thief, int level, const OccupancyBoard &board,
+                      const Snap &snap) const;
+
+    /** Weighted pick among victims at level <= @p level from @p snap. */
+    int sampleFromSnap(int thief, int level, VictimPolicy policy,
+                       const OccupancyBoard &board, const Snap &snap,
+                       uint32_t affinity_sockets, Rng &rng) const;
+
     int _numWorkers;
     int _numSockets;
+    BiasWeights _weights;
+    /** max(kOccupancyBoost, 2 * distance spread): see kOccupancyBoost. */
+    double _occupancyBoost = kOccupancyBoost;
     std::vector<int> _workerSocket;
     std::vector<int> _workerCoreGroup; ///< pair-buddy group within socket
     std::vector<int> _socketHops;      ///< row-major socket hop matrix

@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <vector>
 
+#include "mem/numa_arena.h"
+#include "mem/page_map.h"
 #include "runtime/api.h"
 #include "sched/push_policy.h"
 #include "sim/dag.h"
@@ -284,6 +287,109 @@ TEST(AdaptiveRuntime, FibMatchesSerialUnderAllKnobCombinations)
                 << " adaptive=" << adaptive;
         }
     }
+}
+
+TEST(AdaptiveSim, InformedPoliciesMatchWorkOfDistance)
+{
+    // Victim policy changes where thieves look, never what executes.
+    const sim::ComputationDag dag = placeZeroHeavyDag(8, 4, 2000.0);
+    sim::SimResult base;
+    bool first = true;
+    for (const VictimPolicy policy :
+         {VictimPolicy::Distance, VictimPolicy::Occupancy,
+          VictimPolicy::OccupancyAffinity}) {
+        sim::SimConfig cfg = sim::SimConfig::adaptiveNumaWs();
+        cfg.victimPolicy = policy;
+        const sim::SimResult r = sim::simulatePacked(dag, 16, cfg);
+        if (first) {
+            base = r;
+            first = false;
+            EXPECT_EQ(r.counters.levelSkips, 0u); // blind ladder
+        } else {
+            EXPECT_EQ(r.counters.strandsExecuted,
+                      base.counters.strandsExecuted);
+            EXPECT_EQ(r.counters.spawns, base.counters.spawns);
+        }
+    }
+}
+
+TEST(AdaptiveSim, InformedPolicySkipsProbesOnHintedWork)
+{
+    // Heavily hinted work makes local levels run dry: the board must
+    // actually skip levels and replace probes with dry polls.
+    const sim::ComputationDag dag = placeZeroHeavyDag(16, 8, 5000.0);
+    sim::SimConfig cfg = sim::SimConfig::adaptiveNumaWs();
+    cfg.victimPolicy = VictimPolicy::Occupancy;
+    const sim::SimResult r = sim::simulatePacked(dag, 16, cfg);
+
+    sim::SimConfig blind = sim::SimConfig::adaptiveNumaWs();
+    const sim::SimResult rb = sim::simulatePacked(dag, 16, blind);
+
+    EXPECT_GT(r.counters.levelSkips + r.counters.boardDryPolls, 0u);
+    // The informed policy must not probe more than the blind ladder.
+    EXPECT_LE(r.counters.stealAttempts, rb.counters.stealAttempts);
+    // And the starving-worker invariant still holds (work completes).
+    EXPECT_EQ(r.counters.strandsExecuted, rb.counters.strandsExecuted);
+}
+
+TEST(AdaptiveRuntime, VictimPoliciesComputeCorrectResults)
+{
+    const int n = 18;
+    const uint64_t expected = workloads::fibSerial(n);
+    for (const VictimPolicy policy :
+         {VictimPolicy::Distance, VictimPolicy::Occupancy,
+          VictimPolicy::OccupancyAffinity}) {
+        RuntimeOptions o;
+        o.numWorkers = 4;
+        o.numPlaces = 2;
+        o.hierarchicalSteals = true;
+        o.victimPolicy = policy;
+        o.escalationPolicy = EscalationPolicy::Adaptive;
+        o.mailboxCapacity = 2;
+        Runtime rt(o);
+        EXPECT_EQ(workloads::fibParallel(rt, n, 10), expected)
+            << victimPolicyName(policy);
+    }
+}
+
+TEST(AdaptiveRuntime, AffinityResolvesDataHomesThroughThePageMap)
+{
+    PageMap pm(2);
+    NumaArena arena(pm);
+    const std::size_t bytes = 1 << 16;
+    void *block0 = arena.allocOnSocket(bytes, 0);
+    void *block1 = arena.allocOnSocket(bytes, 1);
+
+    RuntimeOptions o;
+    o.numWorkers = 4;
+    o.numPlaces = 2;
+    o.hierarchicalSteals = true;
+    o.victimPolicy = VictimPolicy::OccupancyAffinity;
+    o.pageMap = &pm;
+    Runtime rt(o);
+
+    std::atomic<int64_t> sum{0};
+    rt.run([&] {
+        TaskGroup g;
+        for (int i = 0; i < 128; ++i) {
+            void *data = (i & 1) != 0 ? block1 : block0;
+            g.spawn(
+                [&sum, data] {
+                    auto *p = static_cast<unsigned char *>(data);
+                    int64_t acc = 0;
+                    for (int k = 0; k < 512; ++k)
+                        acc += p[k] + 1;
+                    sum.fetch_add(acc, std::memory_order_relaxed);
+                },
+                /*place=*/i & 1, data, bytes);
+        }
+        g.sync();
+    });
+    EXPECT_GE(sum.load(), 128 * 512);
+    EXPECT_GE(rt.stats().counters.tasksExecuted, 128u);
+
+    arena.free(block0);
+    arena.free(block1);
 }
 
 TEST(AdaptiveRuntime, EscalationCountersAdvanceUnderStarvation)

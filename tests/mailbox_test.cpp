@@ -56,13 +56,75 @@ TEST(Mailbox, PeekDoesNotRemove)
     EXPECT_EQ(m.peek(), nullptr);
 }
 
+TEST(Mailbox, DefaultCapacityIsOne)
+{
+    // The paper's protocol: exactly one parked frame per worker.
+    Mailbox<Frame> m;
+    EXPECT_EQ(m.capacity(), 1);
+}
+
+TEST(MailboxCapacity, HoldsExactlyCapacityFrames)
+{
+    Mailbox<Frame> m(4);
+    EXPECT_EQ(m.capacity(), 4);
+    Frame f[5] = {{0}, {1}, {2}, {3}, {4}};
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_FALSE(m.full());
+        EXPECT_TRUE(m.tryPut(&f[i])) << "slot " << i;
+    }
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.occupied(), 4);
+    EXPECT_FALSE(m.tryPut(&f[4])); // batch is bounded, PUSHBACK retries
+    // Drain: every parked frame comes back exactly once.
+    bool seen[4] = {};
+    for (int i = 0; i < 4; ++i) {
+        Frame *got = m.tryTake();
+        ASSERT_NE(got, nullptr);
+        ASSERT_GE(got->id, 0);
+        ASSERT_LT(got->id, 4);
+        EXPECT_FALSE(seen[got->id]);
+        seen[got->id] = true;
+    }
+    EXPECT_EQ(m.tryTake(), nullptr);
+    EXPECT_FALSE(m.full());
+}
+
+TEST(MailboxCapacity, ClampsToTheCompileTimeCap)
+{
+    Mailbox<Frame> m(1000);
+    EXPECT_EQ(m.capacity(), kMaxMailboxCapacity);
+    Mailbox<Frame> zero(0);
+    EXPECT_EQ(zero.capacity(), 1);
+}
+
+TEST(MailboxBoard, PublishesOccupancyTransitions)
+{
+    OccupancyBoard board(2, {0, 0});
+    Mailbox<Frame> m(2);
+    m.attachBoard(&board, 1);
+    Frame a{1}, b{2};
+    EXPECT_FALSE(board.mailboxOccupied(1));
+    m.tryPut(&a);
+    EXPECT_TRUE(board.mailboxOccupied(1));
+    m.tryPut(&b);
+    EXPECT_TRUE(board.mailboxOccupied(1));
+    m.tryTake();
+    // One frame still parked: the bit stays up...
+    EXPECT_TRUE(board.mailboxOccupied(1));
+    m.tryTake();
+    // ...and clears when the last one leaves.
+    EXPECT_FALSE(board.mailboxOccupied(1));
+    EXPECT_FALSE(board.mailboxOccupied(0)); // neighbor untouched
+}
+
 /** Many producers race to deposit; consumers race to take. Every frame is
- * taken exactly once and the slot never "holds" two frames. */
-TEST(MailboxStress, ExactlyOnceDelivery)
+ * taken exactly once and the slots never "hold" duplicate frames. */
+void
+exactlyOnceDelivery(int capacity)
 {
     constexpr int kProducers = 3;
     constexpr int kFramesPer = 8000;
-    Mailbox<Frame> m;
+    Mailbox<Frame> m(capacity);
     std::vector<Frame> frames(kProducers * kFramesPer);
     for (int i = 0; i < static_cast<int>(frames.size()); ++i)
         frames[i].id = i;
@@ -102,6 +164,16 @@ TEST(MailboxStress, ExactlyOnceDelivery)
 
     for (std::size_t i = 0; i < frames.size(); ++i)
         ASSERT_EQ(taken[i].load(), 1) << "frame " << i;
+}
+
+TEST(MailboxStress, ExactlyOnceDelivery)
+{
+    exactlyOnceDelivery(1);
+}
+
+TEST(MailboxStress, ExactlyOnceDeliveryBatched)
+{
+    exactlyOnceDelivery(4);
 }
 
 } // namespace
