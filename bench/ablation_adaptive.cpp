@@ -48,6 +48,11 @@ struct Variant
         if (hierarchical()) {
             c.hierarchicalSteals = true;
             c.remoteStealHalf = true;
+            // The hierarchical rows measure the *shipped* ladder, whose
+            // victim policy PR 3 flipped to OccupancyAffinity after the
+            // PR 2 soak — the acceptance gate below compares the new
+            // default, not the retired blind ladder.
+            c.victimPolicy = VictimPolicy::OccupancyAffinity;
         }
         return c;
     }

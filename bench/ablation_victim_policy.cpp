@@ -13,12 +13,18 @@
  * on the mailbox-fed sockets directly.
  *
  *   ./ablation_victim_policy [--scale=0.25] [--cores=32] [--seeds=5]
- *                            [--seed=first] [--json=...]
+ *                            [--seed=first] [--threads=2]
+ *                            [--skip-threaded] [--skip-sim] [--json=...]
  *
  * Steal dynamics near heat's per-step barriers are seed sensitive, so
  * each (workload, policy) cell runs --seeds independent seeds; the JSON
  * carries one row per seed (with core-count/sha provenance) and the
- * gates compare *means*. Exits nonzero unless all acceptance gates hold:
+ * gates compare *means*. The grid is also run on the threaded runtime
+ * with --threads workers (fib + heat, engine="threaded" rows, ungated:
+ * wall times mean nothing on the 1-core containers, but the steal/skip
+ * counters do, and the CI threaded-bench job accumulates them into a
+ * real-thread perf trajectory). Exits nonzero unless all acceptance
+ * gates hold (simulator rows only):
  *  1. heat: occupancy+affinity <= flat-search simulated time
  *     (the PR 1 regression is erased),
  *  2. matmul_layout: occupancy+affinity steal probes stay >= 10% below
@@ -32,6 +38,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "support/timing.h"
 
 using namespace numaws;
 using namespace numaws::bench;
@@ -85,6 +92,54 @@ gate(const char *what, double actual, double limit)
     return ok;
 }
 
+/** The same policy grid on the threaded runtime (fib + heat), so the
+ * CI threaded-bench job accumulates real-thread counters run over run.
+ * Ungated: the simulator carries the acceptance gates. */
+void
+threadedRows(JsonReport &report, double scale, int workers)
+{
+    for (const PolicyRow &row : kRows) {
+        RuntimeOptions o;
+        o.numWorkers = workers;
+        o.numPlaces = workers >= 4 ? 4 : (workers >= 2 ? 2 : 1);
+        o.hierarchicalSteals = row.hierarchical;
+        o.victimPolicy = row.victims;
+        o.escalationPolicy = row.escalation;
+        Runtime rt(o);
+
+        const double seconds = runThreadedFibHeat(rt, scale);
+        const RuntimeStats stats = rt.stats();
+        JsonRow j;
+        j.set("engine", "threaded")
+            .set("workload", "fib+heat")
+            .set("policy", row.name)
+            .set("escalation",
+                 row.escalation == EscalationPolicy::Adaptive
+                     ? "adaptive"
+                     : "fixed")
+            .set("workers", workers)
+            .set("elapsed_s", seconds)
+            .set("steal_attempts", stats.counters.stealAttempts)
+            .set("steals", stats.counters.steals)
+            .set("mailbox_steals", stats.counters.mailboxTakes)
+            .set("level_skips", stats.counters.levelSkips)
+            .set("board_dry_polls", stats.counters.dryPolls)
+            .set("push_successes", stats.counters.pushbackSuccesses);
+        report.addRow(j);
+        std::printf("  threaded %-32s %0.3fs  attempts %llu  steals "
+                    "%llu  skips %llu  dryPolls %llu\n",
+                    row.name, seconds,
+                    static_cast<unsigned long long>(
+                        stats.counters.stealAttempts),
+                    static_cast<unsigned long long>(
+                        stats.counters.steals),
+                    static_cast<unsigned long long>(
+                        stats.counters.levelSkips),
+                    static_cast<unsigned long long>(
+                        stats.counters.dryPolls));
+    }
+}
+
 } // namespace
 
 int
@@ -98,6 +153,13 @@ main(int argc, char **argv)
         static_cast<uint64_t>(cli.getInt("seed", 0x5eed));
     const int num_seeds =
         std::max(1, static_cast<int>(cli.getInt("seeds", 5)));
+    const int threads = static_cast<int>(cli.getInt("threads", 2));
+    const bool skip_threaded = cli.getBool("skip-threaded", false);
+    // Threaded-only mode: skip the simulated grid and its gates (CI's
+    // threaded-bench job uses this — bench-smoke already enforces the
+    // sim gates, so re-simulating there would double the wall clock
+    // for identical rows).
+    const bool skip_sim = cli.getBool("skip-sim", false);
     const int places = socketsFor(args.cores);
 
     MatmulParams mm;
@@ -123,7 +185,7 @@ main(int argc, char **argv)
 
     JsonReport report;
     Measured flat[2], distance[2], informed[2]; // per case
-    for (std::size_t ci = 0; ci < 2; ++ci) {
+    for (std::size_t ci = 0; ci < 2 && !skip_sim; ++ci) {
         const Case &sc = cases[ci];
         if (!args.only.empty() && args.only != sc.name)
             continue;
@@ -188,12 +250,17 @@ main(int argc, char **argv)
         t.print();
     }
 
+    if (!skip_threaded && args.only.empty()) {
+        std::printf("\nThreaded runtime, %d workers:\n", threads);
+        threadedRows(report, args.scale, threads);
+    }
+
     report.writeFile(json_path);
     std::printf("\nwrote %zu rows to %s\n", report.numRows(),
                 json_path.c_str());
 
-    if (!args.only.empty())
-        return 0; // partial runs skip the cross-workload gates
+    if (!args.only.empty() || skip_sim)
+        return 0; // partial/threaded-only runs skip the sim gates
 
     // Acceptance gates (see file header). Ratios vs. flat search use a
     // 0.5% tolerance for cost-model noise; the probe gate is absolute.

@@ -27,6 +27,7 @@
 #include "support/cli.h"
 #include "support/panic.h"
 #include "support/table.h"
+#include "support/timing.h"
 #include "workloads/workloads.h"
 
 namespace numaws::bench {
@@ -97,6 +98,32 @@ runNumaWs(const SimWorkload &wl, int cores, uint64_t seed = 0x5eed)
         }
     }
     return best;
+}
+
+/**
+ * The shared threaded-engine row workload: fib (spawn-bound) plus
+ * hinted heat (mailbox-bound) at bench scale, timed together. Every
+ * ablation bench that emits "fib+heat" threaded rows runs this one
+ * shape, so bench_trajectory.py compares like with like across
+ * reports and the shape cannot silently diverge between benches.
+ * Wall time is meaningless on 1-core CI containers; the counters in
+ * Runtime::stats() are what the rows are for.
+ */
+inline double
+runThreadedFibHeat(Runtime &rt, double scale)
+{
+    const int fib_n = scale >= 1.0 ? 28 : 20;
+    workloads::HeatParams heat;
+    heat.nx = scale >= 1.0 ? 512 : 128;
+    heat.ny = heat.nx;
+    heat.steps = 4;
+    std::vector<double> a(
+        static_cast<std::size_t>(heat.nx) * heat.ny, 0.0);
+    std::vector<double> b(a.size(), 0.0);
+    WallTimer t;
+    workloads::fibParallel(rt, fib_n);
+    workloads::heatParallel(rt, a.data(), b.data(), heat, true);
+    return t.seconds();
 }
 
 /**

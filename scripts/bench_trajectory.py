@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Print old/new ratios between two bench-report directories.
+
+CI downloads the previous successful run's ``bench-reports`` artifact
+into one directory and compares it against the JSON reports the current
+run just produced, so a perf history accumulates run over run:
+
+    bench_trajectory.py PREV_DIR NEW_DIR [file.json ...]
+
+Rows are grouped by their identity key (workload + policy/knob columns,
+engine, cores/workers) and averaged over seeds; for each group present
+in both runs the script prints elapsed-time and counter ratios
+(new/old), plus the provenance (host_cores, git_sha) of both sides so a
+ratio from a differently-sized runner is never mistaken for a
+regression. Purely informational: always exits 0 when inputs parse
+(missing previous artifacts are expected on the first run — exit 0 with
+a note), so the gating stays in the benches themselves.
+"""
+
+import json
+import os
+import sys
+
+# Fields that identify a row (everything else is a measurement).
+KEY_FIELDS = (
+    "engine",
+    "workload",
+    "policy",
+    "victims",
+    "escalation",
+    "park",
+    "push",
+    "cores",
+    "workers",
+)
+# Measurements worth a trajectory line, in print order.
+METRICS = (
+    "elapsed_s",
+    "steal_attempts",
+    "spurious_wakeups",
+    "wakeups",
+    "push_attempts",
+)
+
+
+def load_rows(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def key_of(row):
+    return tuple((k, row[k]) for k in KEY_FIELDS if k in row)
+
+
+def aggregate(rows):
+    """Group rows by identity and average numeric metrics over seeds."""
+    groups = {}
+    for row in rows:
+        groups.setdefault(key_of(row), []).append(row)
+    out = {}
+    for key, members in groups.items():
+        means = {}
+        for metric in METRICS:
+            values = [
+                float(m[metric]) for m in members if metric in m
+            ]
+            if values:
+                means[metric] = sum(values) / len(values)
+        means["_provenance"] = "%s cores @ %.9s" % (
+            members[0].get("host_cores", "?"),
+            str(members[0].get("git_sha", "?")),
+        )
+        out[key] = means
+    return out
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    prev_dir, new_dir = argv[1], argv[2]
+    names = argv[3:] or sorted(
+        n for n in os.listdir(new_dir) if n.endswith(".json")
+    )
+    if not os.path.isdir(prev_dir):
+        print(
+            "bench_trajectory: no previous artifact at %r "
+            "(first run?) — nothing to compare" % prev_dir
+        )
+        return 0
+
+    for name in names:
+        prev_path = os.path.join(prev_dir, name)
+        new_path = os.path.join(new_dir, name)
+        if not os.path.exists(new_path):
+            continue
+        if not os.path.exists(prev_path):
+            print("== %s: new report (no previous run) ==" % name)
+            continue
+        old = aggregate(load_rows(prev_path))
+        new = aggregate(load_rows(new_path))
+        print("== %s ==" % name)
+        shared = [k for k in new if k in old]
+        if not shared:
+            print("  no comparable rows (schema changed?)")
+            continue
+        sample = old[shared[0]]["_provenance"], new[shared[0]][
+            "_provenance"
+        ]
+        print("  old: %s   new: %s" % sample)
+        for key in shared:
+            label = "/".join(str(v) for _, v in key)
+            ratios = []
+            for metric in METRICS:
+                if metric in old[key] and metric in new[key]:
+                    denom = old[key][metric]
+                    if denom > 0:
+                        ratios.append(
+                            "%s %.3fx"
+                            % (metric, new[key][metric] / denom)
+                        )
+            if ratios:
+                print("  %-60s %s" % (label, "  ".join(ratios)))
+        only_new = [k for k in new if k not in old]
+        if only_new:
+            print("  (+%d new row groups)" % len(only_new))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

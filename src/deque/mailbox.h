@@ -27,6 +27,7 @@
 #include <atomic>
 
 #include "sched/occupancy.h"
+#include "sched/parking.h"
 #include "support/cache_aligned.h"
 #include "support/panic.h"
 
@@ -64,6 +65,20 @@ class Mailbox
     }
 
     /**
+     * Also wake @p lot's slot for @p socket whenever a deposit flips
+     * the socket's board occupancy 0 -> nonzero (ParkPolicy::Board).
+     * The deposit is the runtime's second publish point (after
+     * Worker::pushTask), so parked workers learn about frames parked
+     * for their place without a timer. Requires attachBoard.
+     */
+    void
+    attachParking(ParkingLot *lot, int socket)
+    {
+        _lot = lot;
+        _socket = socket;
+    }
+
+    /**
      * Attempt to deposit @p item into a free slot.
      * @return false if all capacity slots hold frames (the pusher then
      *         retries with a different random receiver, per PUSHBACK).
@@ -77,9 +92,12 @@ class Mailbox
                     expected, item, std::memory_order_acq_rel,
                     std::memory_order_relaxed)) {
                 // Deposit first, then advertise: a thief that reads the
-                // occupancy bit (acquire) observes this frame.
-                if (_board != nullptr)
-                    _board->publishMailbox(_worker, true);
+                // occupancy bit (acquire) observes this frame. A socket
+                // occupancy edge wakes the owner's parked socket.
+                if (_board != nullptr
+                    && _board->publishMailbox(_worker, true)
+                    && _lot != nullptr)
+                    _lot->wake(_socket);
                 return true;
             }
         }
@@ -183,6 +201,8 @@ class Mailbox
     int _capacity;
     OccupancyBoard *_board = nullptr;
     int _worker = -1;
+    ParkingLot *_lot = nullptr;
+    int _socket = -1;
 };
 
 } // namespace numaws

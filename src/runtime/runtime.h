@@ -47,6 +47,7 @@
 #include "deque/ws_deque.h"
 #include "runtime/task.h"
 #include "sched/occupancy.h"
+#include "sched/parking.h"
 #include "sched/push_policy.h"
 #include "support/cache_aligned.h"
 #include "support/panic.h"
@@ -93,11 +94,35 @@ struct RuntimeOptions
      * blind ladder; Occupancy consults the OccupancyBoard to skip dry
      * levels and weight occupied victims; OccupancyAffinity additionally
      * boosts sockets homing the thief's current task's data (via pageMap
-     * when set, else the task's place hint).
+     * when set, else the task's place hint). Defaults to the full
+     * informed policy since PR 3 (it soaked through PR 2's
+     * BENCH_victim_policy gates); only consulted when hierarchicalSteals
+     * is on, so the paper-faithful flat configuration is unaffected.
      */
-    VictimPolicy victimPolicy = VictimPolicy::Distance;
+    VictimPolicy victimPolicy = VictimPolicy::OccupancyAffinity;
     /** Mailbox slots per worker (the paper's protocol is capacity 1). */
     int mailboxCapacity = 1;
+    /**
+     * Idle-worker parking: Timer reproduces the bounded periodic wait
+     * (every idle worker re-probes each period); Board parks workers
+     * per socket and wakes only the sockets whose OccupancyBoard words
+     * transitioned 0 -> nonzero, with parkFallbackUs as lost-wakeup
+     * insurance. Board parking forces board publication even when
+     * victimPolicy is Distance (see Worker::boardPublishing).
+     */
+    ParkPolicy parkPolicy = ParkPolicy::Timer;
+    /** Timer-policy wait period, microseconds. */
+    int parkTimerUs = 200;
+    /** Board-policy fallback timeout, microseconds: the most a lost or
+     * cross-socket wakeup can cost before the worker re-probes. */
+    int parkFallbackUs = 1000;
+    /**
+     * PUSHBACK receiver selection: Random probes blind (the paper's
+     * protocol); Board picks among receivers whose board mailbox bit
+     * is clear (room advertised), falling back to Random when the
+     * complement is empty. Board targeting forces board publication.
+     */
+    PushTarget pushTarget = PushTarget::Random;
     /**
      * Optional page-home registry for data-home affinity (not owned;
      * must outlive the runtime). Tasks spawned with a data range resolve
@@ -133,6 +158,19 @@ struct WorkerCounters
     uint64_t escalations = 0;        ///< hierarchical level widenings
     uint64_t levelSkips = 0;         ///< dry levels skipped via the board
     uint64_t dryPolls = 0;           ///< probes skipped on a dry board
+    /** @name Parking counters
+     * Unlike every other counter (written only while executing or
+     * stealing inside an active root), these advance on the idle path
+     * too — workers park while the runtime is quiescent — so the
+     * live per-worker copies are atomics on Worker and stats() folds
+     * them in; these aggregate fields are plain (single-threaded
+     * aggregation only). */
+    /// @{
+    uint64_t parks = 0;              ///< idleWait entries
+    uint64_t parkWakes = 0;          ///< parks ended by a notification
+    uint64_t parkTimeouts = 0;       ///< parks ended by the timeout
+    uint64_t spuriousWakes = 0;      ///< wakes with a still-dry board
+    /// @}
 
     void merge(const WorkerCounters &o);
 };
@@ -227,6 +265,25 @@ class Worker
 
     WorkerCounters &counters() { return _counters; }
     TimeSplit &timeSplit() { return _time; }
+    /** Fold the atomic park counters into @p into (Runtime::stats). */
+    void
+    foldParkCounters(WorkerCounters &into) const
+    {
+        into.parks += _parks.load(std::memory_order_relaxed);
+        into.parkWakes += _parkWakes.load(std::memory_order_relaxed);
+        into.parkTimeouts +=
+            _parkTimeouts.load(std::memory_order_relaxed);
+        into.spuriousWakes +=
+            _spuriousWakes.load(std::memory_order_relaxed);
+    }
+    void
+    resetParkCounters()
+    {
+        _parks.store(0, std::memory_order_relaxed);
+        _parkWakes.store(0, std::memory_order_relaxed);
+        _parkTimeouts.store(0, std::memory_order_relaxed);
+        _spuriousWakes.store(0, std::memory_order_relaxed);
+    }
     Mailbox<TaskBase> &mailbox() { return _mailbox; }
     WsDeque<TaskBase> &deque() { return _deque; }
     Rng &rng() { return _rng; }
@@ -273,11 +330,21 @@ class Worker
     /** Refresh the data-home affinity mask from @p task (executeTask). */
     void noteAffinity(const TaskBase *task);
 
-    /** Informed victim selection active: publish to / read the board.
-     * Publications are gated on the same predicate as every reader, so
-     * a config that never consults the board never pays a single RMW
-     * for it. Defined after Runtime (needs its definition). */
+    /** The own deque just gained work: publish the bit and notify per
+     * the park policy (targeted edge wake under Board, global notify
+     * under Timer). The single wake-protocol site for pushTask and the
+     * batched-steal extras. */
+    void publishOwnDequeAndNotify();
+
+    /** Informed victim selection active: the steal path reads the
+     * board. Defined after Runtime (needs its definition). */
     bool boardInformed() const;
+
+    /** Board publication active: informed steals, board parking, or
+     * board-guided PUSHBACK — the union of every board consumer, so a
+     * config with no consumer never pays a single RMW, while any one
+     * consumer gets a fully published board. */
+    bool boardPublishing() const;
 
     Runtime &_runtime;
     int _id;
@@ -293,6 +360,13 @@ class Worker
     uint32_t _affinityMask = 0;
     /** Consecutive all-dry board polls; every 4th probes anyway. */
     int _dryStreak = 0;
+    /** Park accounting advances while the runtime is quiescent (idle
+     * workers park between runs), so a concurrent stats() read must
+     * not race it: atomics, relaxed (counters, not synchronization). */
+    std::atomic<uint64_t> _parks{0};
+    std::atomic<uint64_t> _parkWakes{0};
+    std::atomic<uint64_t> _parkTimeouts{0};
+    std::atomic<uint64_t> _spuriousWakes{0};
     WorkerCounters _counters;
     TimeSplit _time;
     TimeSplit::Bucket _bucket = TimeSplit::Idle;
@@ -326,6 +400,7 @@ class Runtime
     const Machine &machine() const { return _machine; }
     OccupancyBoard &board() { return _board; }
     const OccupancyBoard &board() const { return _board; }
+    ParkingLot &parkingLot() { return _parking; }
 
     /** Workers on place @p p: [first, last). */
     std::pair<int, int> workersOfPlace(int p) const;
@@ -345,10 +420,28 @@ class Runtime
     {
         return _rootActive.load(std::memory_order_acquire);
     }
-    /** Park until work might exist (bounded wait to avoid lost wakeups). */
-    void idleWait();
-    /** Wake parked workers because new work appeared. */
+    /** A root task is placed but unclaimed. The root lives in the
+     * injection slot, not on the occupancy board, so park predicates
+     * must check it separately or worker 0 can sleep through a root
+     * injection for a full fallback period. */
+    bool rootPending() const
+    {
+        return _rootSlot.load(std::memory_order_acquire) != nullptr;
+    }
+    /**
+     * Park the calling worker (of @p socket) until work might exist.
+     * Timer policy: bounded global wait. Board policy: per-socket
+     * ParkingLot slot with the bounded fallback timeout.
+     * @return true when the wait ended by a notification or a
+     *         work/shutdown predicate, false on a plain timeout.
+     */
+    bool idleWait(int socket);
+    /** Wake every parked worker (root injection, shutdown — events any
+     * socket may need to see). */
     void notifyWork();
+    /** Targeted wake: @p socket's board words went 0 -> nonzero. Under
+     * timer parking this degrades to notifyWork() (one global cv). */
+    void notifyWorkOn(int socket);
     void onRootDone();
     void setRootException(std::exception_ptr e);
     /**
@@ -372,6 +465,7 @@ class Runtime
     Machine _machine;
     StealDistribution _dist;
     OccupancyBoard _board;
+    ParkingLot _parking;
     std::vector<std::unique_ptr<Worker>> _workers;
     std::vector<std::thread> _threads;
 
@@ -397,6 +491,14 @@ Worker::boardInformed() const
     const RuntimeOptions &o = _runtime.options();
     return o.hierarchicalSteals
            && o.victimPolicy != VictimPolicy::Distance;
+}
+
+inline bool
+Worker::boardPublishing() const
+{
+    const RuntimeOptions &o = _runtime.options();
+    return boardInformed() || o.parkPolicy == ParkPolicy::Board
+           || o.pushTarget == PushTarget::Board;
 }
 
 template <typename F>

@@ -37,7 +37,10 @@ Runtime::Runtime(RuntimeOptions options)
             options.numWorkers > 0 ? options.numWorkers : hostCpuCount(),
             options.biasedSteals ? options.biasWeights
                                  : BiasWeights::uniform()),
-      _board(_dist.numWorkers(), _dist.workerSockets())
+      _board(_dist.numWorkers(), _dist.workerSockets()),
+      _parking(options.parkPolicy == ParkPolicy::Board
+                   ? _board.numSockets()
+                   : 0)
 {
     const int workers =
         _options.numWorkers > 0 ? _options.numWorkers : hostCpuCount();
@@ -85,6 +88,7 @@ Runtime::stats() const
     RuntimeStats s;
     for (const auto &w : _workers) {
         s.counters.merge(const_cast<Worker &>(*w).counters());
+        w->foldParkCounters(s.counters);
         s.time.merge(const_cast<Worker &>(*w).timeSplit());
     }
     return s;
@@ -96,23 +100,53 @@ Runtime::resetStats()
     NUMAWS_ASSERT(!rootActive());
     for (auto &w : _workers) {
         w->counters() = WorkerCounters{};
+        w->resetParkCounters();
         w->timeSplit() = TimeSplit{};
     }
 }
 
-void
-Runtime::idleWait()
+bool
+Runtime::idleWait(int socket)
 {
+    if (_options.parkPolicy == ParkPolicy::Board && _parking.enabled()) {
+        // Park tagged with the socket; only an occupancy edge on this
+        // socket (or notifyWork) wakes it before the fallback. The
+        // predicate runs after waiter registration, so a wake issued
+        // once we are registered is never lost; the fallback bounds
+        // the one pre-registration publish window (parking.h docs).
+        return _parking.park(
+            socket, std::chrono::microseconds(_options.parkFallbackUs),
+            [this, socket] {
+                // rootPending: the injection slot is not on the board,
+                // and only an awake worker 0 can claim it.
+                return shuttingDown() || rootPending()
+                       || (rootActive() && _board.anyWorkFor(socket));
+            });
+    }
     std::unique_lock<std::mutex> lock(_parkMutex);
     if (shuttingDown())
-        return;
+        return true;
     // Bounded wait: a lost wakeup costs at most one timeout period.
-    _parkCv.wait_for(lock, std::chrono::microseconds(200));
+    return _parkCv.wait_for(
+               lock, std::chrono::microseconds(_options.parkTimerUs))
+           == std::cv_status::no_timeout;
 }
 
 void
 Runtime::notifyWork()
 {
+    if (_parking.enabled())
+        _parking.wakeAll();
+    _parkCv.notify_all();
+}
+
+void
+Runtime::notifyWorkOn(int socket)
+{
+    if (_parking.enabled()) {
+        _parking.wake(socket);
+        return;
+    }
     _parkCv.notify_all();
 }
 

@@ -29,6 +29,12 @@ WorkerCounters::merge(const WorkerCounters &o)
     escalations += o.escalations;
     levelSkips += o.levelSkips;
     dryPolls += o.dryPolls;
+    parks += o.parks;
+    parkWakes += o.parkWakes;
+    parkTimeouts += o.parkTimeouts;
+    spuriousWakes += o.spuriousWakes;
+    // (The live park counters are atomics on Worker; Runtime::stats()
+    // folds them via foldParkCounters, so aggregates merge plainly.)
 }
 
 namespace {
@@ -58,9 +64,14 @@ Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
       _mark(nowNs())
 {
     // Mailbox occupancy reaches the board from inside tryPut/tryTake, so
-    // pushers and thieves publish transitions without extra call sites.
-    if (boardInformed())
+    // pushers and thieves publish transitions without extra call sites;
+    // under board parking the deposit edge also wakes this worker's
+    // parked socket from the same spot.
+    if (boardPublishing()) {
         _mailbox.attachBoard(&runtime.board(), id);
+        if (runtime.options().parkPolicy == ParkPolicy::Board)
+            _mailbox.attachParking(&runtime.parkingLot(), place);
+    }
 }
 
 Worker *
@@ -70,20 +81,34 @@ Worker::current()
 }
 
 void
+Worker::publishOwnDequeAndNotify()
+{
+    // Edge-triggered publish: free of RMWs while the bit already says
+    // nonempty, so the work path stays the paper's two stores.
+    const bool socket_edge =
+        boardPublishing() && _runtime.board().publishDeque(_id, true);
+    if (_runtime.options().parkPolicy == ParkPolicy::Board) {
+        // Only a 0 -> nonzero socket edge can find sleepers worth
+        // waking; every other push skips notification entirely — the
+        // wakeup-storm cut board parking buys on the spawn path.
+        if (socket_edge)
+            _runtime.notifyWorkOn(_place);
+    } else {
+        _runtime.notifyWork();
+    }
+}
+
+void
 Worker::pushTask(TaskBase *task)
 {
     _deque.pushTail(task);
-    // Edge-triggered publish: free of RMWs while the bit already says
-    // nonempty, so the work path stays the paper's two stores.
-    if (boardInformed())
-        _runtime.board().publishDeque(_id, true);
-    _runtime.notifyWork();
+    publishOwnDequeAndNotify();
 }
 
 TaskBase *
 Worker::acquireLocal()
 {
-    const bool informed = boardInformed();
+    const bool publishing = boardPublishing();
     // Work path first: the tail of the own deque...
     if (TaskBase *t = _deque.popTail()) {
         // Publish the *actual* state, not just the pop-to-empty edge: a
@@ -91,11 +116,11 @@ Worker::acquireLocal()
         // bit, and a worker draining a deep deque would otherwise never
         // re-assert it. Edge-triggered publish makes the common
         // (unchanged) case one relaxed load.
-        if (informed)
+        if (publishing)
             _runtime.board().publishDeque(_id, !_deque.empty());
         return t;
     }
-    if (informed)
+    if (publishing)
         _runtime.board().publishDeque(_id, false);
     // ...then POPMAILBOX: a frame some worker parked here for this place.
     if (TaskBase *t = _mailbox.tryTake()) {
@@ -119,6 +144,7 @@ Worker::trySteal()
     const StealDistribution &dist = _runtime.stealDistribution();
     OccupancyBoard &board = _runtime.board();
     const bool informed = boardInformed();
+    const bool publishing = boardPublishing();
     // Board poll in place of a probe: when nothing anywhere advertises
     // work, skip the victim probe entirely — that is the probe the board
     // was built to save. Every 4th consecutive dry poll still probes
@@ -207,7 +233,7 @@ Worker::trySteal()
         }
         // The probe already paid for the cache traffic: repair the
         // victim's staleness (a 1-bit over an empty deque) for free.
-        if (informed && victim.deque().empty())
+        if (publishing && victim.deque().empty())
             board.publishDeque(victim_id, false);
     }
     if (task == nullptr) {
@@ -239,9 +265,7 @@ Worker::trySteal()
             batch[i]->markStolen();
             _deque.pushTail(batch[i]);
         }
-        if (informed)
-            board.publishDeque(_id, true);
-        _runtime.notifyWork();
+        publishOwnDequeAndNotify();
     }
     // Promotion analogue: the task has now migrated off its spawner.
     task->markStolen();
@@ -269,6 +293,9 @@ Worker::pushBack(TaskBase *task)
     const auto [first, last] = _runtime.workersOfPlace(target);
     if (first >= last)
         return false;
+    OccupancyBoard &board = _runtime.board();
+    const bool guided =
+        opts.pushTarget == PushTarget::Board && board.enabled();
     // The policy sees our own deque depth (pressure widens the cap) and
     // every rejection below (congestion tightens it). Reading the live
     // threshold each iteration keeps the loop bounded either way: the
@@ -279,14 +306,30 @@ Worker::pushBack(TaskBase *task)
     while (task->pushCount()
            < static_cast<uint32_t>(_pushPolicy.threshold())) {
         ++_counters.pushbackAttempts;
-        const int receiver =
-            first
-            + static_cast<int>(_rng.nextBounded(
-                static_cast<uint64_t>(last - first)));
+        // Board-guided receiver: sample only among workers whose
+        // mailbox bit advertises room (never-invented occupancy means a
+        // set bit is always a real frame, so skipping it saves a
+        // guaranteed-wasted probe; a clear bit may be stale, in which
+        // case tryPut still rejects and we retry as before). When every
+        // bit on the place is set — or the knob is off — probe blind.
+        int receiver = -1;
+        if (guided) {
+            receiver = pickClearMailbox(
+                first, last, /*self=*/-1, board.mailboxBits(target),
+                [&board](int w) { return board.workerMask(w); }, _rng);
+        }
+        if (receiver < 0)
+            receiver =
+                first
+                + static_cast<int>(_rng.nextBounded(
+                    static_cast<uint64_t>(last - first)));
         if (_runtime.worker(receiver).mailbox().tryPut(task)) {
             ++_counters.pushbackSuccesses;
             _pushPolicy.onPushSuccess();
-            _runtime.notifyWork();
+            // Board parking: tryPut already woke the receiver's socket
+            // on the deposit's occupancy edge (Mailbox::attachParking).
+            if (opts.parkPolicy != ParkPolicy::Board)
+                _runtime.notifyWork();
             return true;
         }
         _pushPolicy.onMailboxFull();
@@ -390,7 +433,17 @@ Worker::mainLoop()
             continue;
         }
         if (++failures >= 64) {
-            _runtime.idleWait();
+            _parks.fetch_add(1, std::memory_order_relaxed);
+            if (_runtime.idleWait(_place))
+                _parkWakes.fetch_add(1, std::memory_order_relaxed);
+            else
+                _parkTimeouts.fetch_add(1, std::memory_order_relaxed);
+            // A wake that lands on a still-dry board bought nothing:
+            // the wakeup-storm metric the board policy is gated on
+            // (only meaningful when the board is being published).
+            if (boardPublishing() && _runtime.rootActive()
+                && !_runtime.board().anyWorkFor(_place))
+                _spuriousWakes.fetch_add(1, std::memory_order_relaxed);
             failures = 0;
         } else {
             cpuRelax();

@@ -74,23 +74,31 @@ class OccupancyBoard
     int numWorkers() const { return _numWorkers; }
     int numSockets() const { return _numSockets; }
 
-    /** @name Publication (any thread; edge-triggered, see file docs) */
+    /** @name Publication (any thread; edge-triggered, see file docs)
+     * Each returns true when this call took the socket's *combined*
+     * (deque | mailbox) occupancy from 0 to nonzero — the socket edge
+     * ParkingLot wakes ride on. Clears, no-ops, and publications that
+     * lost the transition race return false. The verdict is advisory
+     * like the rest of the board: a missed edge (racing clear between
+     * the two word reads) only delays a parked worker by one fallback
+     * period, and a spurious edge costs one wasted wake. */
     /// @{
-    void
+    bool
     publishDeque(int worker, bool nonempty)
     {
         if (!enabled())
-            return;
-        publish(_words[_socketOf[worker]].deque, _maskOf[worker], nonempty);
+            return false;
+        SocketWords &w = _words[_socketOf[worker]];
+        return publish(w.deque, w.mailbox, _maskOf[worker], nonempty);
     }
 
-    void
+    bool
     publishMailbox(int worker, bool occupied)
     {
         if (!enabled())
-            return;
-        publish(_words[_socketOf[worker]].mailbox, _maskOf[worker],
-                occupied);
+            return false;
+        SocketWords &w = _words[_socketOf[worker]];
+        return publish(w.mailbox, w.deque, _maskOf[worker], occupied);
     }
     /// @}
 
@@ -204,19 +212,31 @@ class OccupancyBoard
         std::atomic<uint64_t> mailbox{0};
     };
 
-    static void
-    publish(std::atomic<uint64_t> &word, uint64_t mask, bool on)
+    /** @return true iff this call flipped the socket's combined
+     * occupancy 0 -> nonzero (@p word is the written word, @p other the
+     * socket's sibling word). */
+    static bool
+    publish(std::atomic<uint64_t> &word,
+            const std::atomic<uint64_t> &other, uint64_t mask, bool on)
     {
         // Edge trigger: the relaxed pre-check keeps the no-transition
         // path free of RMWs; the release on the transition publishes the
         // deposit that preceded this call.
         if (on) {
-            if ((word.load(std::memory_order_relaxed) & mask) == 0)
-                word.fetch_or(mask, std::memory_order_release);
+            if ((word.load(std::memory_order_relaxed) & mask) == 0) {
+                const uint64_t prev =
+                    word.fetch_or(mask, std::memory_order_release);
+                // The socket edge belongs to the publication that set
+                // the first bit of both words; the sibling read may
+                // race a concurrent clear (advisory, see caller docs).
+                return prev == 0
+                       && other.load(std::memory_order_relaxed) == 0;
+            }
         } else {
             if ((word.load(std::memory_order_relaxed) & mask) != 0)
                 word.fetch_and(~mask, std::memory_order_release);
         }
+        return false;
     }
 
     int _numWorkers = 0;

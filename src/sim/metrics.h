@@ -38,6 +38,10 @@ struct SimCounters
     uint64_t batchedFrames = 0;  ///< extra frames moved by those batches
     uint64_t levelSkips = 0;     ///< dry levels skipped via the board
     uint64_t boardDryPolls = 0;  ///< probes skipped on an all-dry board
+    uint64_t parks = 0;          ///< idle cores entering the parked state
+    uint64_t wakeups = 0;        ///< parked-core wakeups (any cause)
+    uint64_t boardWakes = 0;     ///< wakeups from a targeted socket edge
+    uint64_t spuriousWakeups = 0; ///< wakeups that found a dry board
 };
 
 /** Outcome of one simulated run. */

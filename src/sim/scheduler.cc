@@ -62,6 +62,24 @@ struct CoreState
      * real outermost probe (insurance against a false-empty board). */
     int dryStreak = 0;
 
+    /** @name Parking model (SimConfig::parkAfterFailures > 0 only) */
+    /// @{
+    bool parked = false;
+    /** A fruitless probe crossed the failure threshold: run() parks
+     * this core after charging the step. */
+    bool parkRequested = false;
+    /** The pending wake is a targeted socket-edge wake, not a timeout. */
+    bool boardWakePending = false;
+    /** Consecutive fruitless probes (failed steals + dry polls). */
+    int parkFails = 0;
+    double parkStart = 0.0;
+    /** Time of this core's currently scheduled event — a targeted wake
+     * reschedules only if it lands earlier. */
+    double nextWakeAt = 0.0;
+    /** Matches Event::token; stale heap entries are skipped on pop. */
+    uint64_t eventToken = 0;
+    /// @}
+
     double workCycles = 0.0;
     double schedCycles = 0.0;
     double idleCycles = 0.0;
@@ -72,6 +90,9 @@ struct Event
     double time;
     uint64_t seq;
     int core;
+    /** Lazy invalidation: a targeted wake supersedes the fallback event
+     * already in the heap by bumping the core's token. */
+    uint64_t token;
 
     bool
     operator>(const Event &o) const
@@ -172,12 +193,29 @@ class Simulation
                < static_cast<uint32_t>(policy.threshold())) {
             ++_counters.pushAttempts;
             cost += _cfg.pushAttemptCost;
-            const int receiver =
-                first
-                + static_cast<int>(_cores[core].rng.nextBounded(
-                    static_cast<uint64_t>(last - first)));
+            // Board-guided receiver: sample the complement of the
+            // socket's mailbox bits (empty mailboxes, which always have
+            // room) instead of probing blind. When every mailbox on the
+            // place already holds a frame, fall back to the random
+            // probe — it still reaches the partially filled slots a
+            // capacity > 1 mailbox may have, and it burns attempts
+            // exactly like PushTarget::Random, pricing both knobs with
+            // the same pushAttemptCost.
+            int receiver = -1;
+            if (_cfg.pushTarget == PushTarget::Board) {
+                receiver = pickClearMailbox(
+                    first, last, /*self=*/core,
+                    _board.mailboxBits(target),
+                    [this](int w) { return _board.workerMask(w); },
+                    _cores[core].rng);
+            }
+            if (receiver < 0)
+                receiver =
+                    first
+                    + static_cast<int>(_cores[core].rng.nextBounded(
+                        static_cast<uint64_t>(last - first)));
             if (receiver != core && mailboxHasRoom(receiver)) {
-                mailboxDeposit(receiver, cont);
+                mailboxDeposit(receiver, cont, core);
                 ++_counters.pushSuccesses;
                 policy.onPushSuccess();
                 pushed = true;
@@ -199,16 +237,104 @@ class Simulation
     std::pair<double, Charge> stepSchedulingLoop(int core);
     std::pair<double, Charge> stepStealAttempt(int core);
 
+    /** @name Parking model (active when SimConfig::parkAfterFailures > 0)
+     * Mirrors Runtime::idleWait/ParkingLot: a core parks after a run of
+     * fruitless probes and wakes on a timer (ParkPolicy::Timer), on a
+     * targeted socket-occupancy edge plus a fallback timeout
+     * (ParkPolicy::Board), paying boardCheckCost per wakeup check. */
+    /// @{
+    bool parkingModeled() const { return _cfg.parkAfterFailures > 0; }
+
+    double
+    parkTimeout() const
+    {
+        return _cfg.parkPolicy == ParkPolicy::Board
+                   ? _cfg.parkFallbackCycles
+                   : _cfg.parkPeriodCycles;
+    }
+
+    /** (Re)schedule @p core's next event at @p t, superseding whatever
+     * event the heap still holds for it. */
+    void
+    schedule(int core, double t)
+    {
+        CoreState &c = _cores[core];
+        c.eventToken = ++_tokenGen;
+        c.nextWakeAt = t;
+        _heap.push(Event{t, _seq++, core, c.eventToken});
+    }
+
+    /** A fruitless probe (failed steal or dry poll): maybe request a
+     * park once the failure streak crosses the threshold. */
+    void
+    noteProbeFailure(int core)
+    {
+        if (!parkingModeled() || _numCores <= 1)
+            return;
+        CoreState &c = _cores[core];
+        if (++c.parkFails >= _cfg.parkAfterFailures) {
+            c.parkFails = 0;
+            c.parkRequested = true;
+        }
+    }
+
+    /** A socket occupancy word went 0 -> nonzero: under board parking,
+     * wake the cores parked on that socket wakeLatencyCycles after the
+     * publish (sooner than their scheduled fallback only). */
+    void
+    maybeWakeSocket(int socket, int actor)
+    {
+        if (!parkingModeled() || _cfg.parkPolicy != ParkPolicy::Board)
+            return;
+        const double at =
+            _cores[actor].clock + _cfg.wakeLatencyCycles;
+        const auto [first, last] = coresOfSocket(socket);
+        for (int w = first; w < last; ++w) {
+            CoreState &c = _cores[w];
+            if (c.parked && at < c.nextWakeAt) {
+                c.boardWakePending = true;
+                schedule(w, at);
+            }
+        }
+    }
+
+    /** A parked core's wake event fired: pay the board check, unpark if
+     * anything is stealable, else count the wake spurious and re-arm. */
+    void
+    wakeParked(int core, double now)
+    {
+        CoreState &c = _cores[core];
+        ++_counters.wakeups;
+        if (c.boardWakePending)
+            ++_counters.boardWakes;
+        c.boardWakePending = false;
+        // The sleep itself and the wake-time board check are idle time.
+        c.idleCycles += (now - c.parkStart) + _cfg.boardCheckCost;
+        c.clock = now + _cfg.boardCheckCost;
+        if (_board.anyWorkFor(socketOf(core))) {
+            c.parked = false;
+            c.parkFails = 0;
+            schedule(core, c.clock);
+        } else {
+            ++_counters.spuriousWakeups;
+            c.parkStart = c.clock;
+            schedule(core, c.clock + parkTimeout());
+        }
+    }
+    /// @}
+
     /** @name Deque/mailbox mutations, each publishing to the board
      * The sim is sequential, so the board is exact: every transition is
      * published at the mutation site, the same contract the threaded
-     * runtime approximates. */
+     * runtime approximates. A publish that flips a socket's occupancy
+     * 0 -> nonzero is the edge targeted wakes ride on. */
     /// @{
     void
     dequePushBack(int core, Continuation cont)
     {
         _cores[core].deq.push_back(cont);
-        _board.publishDeque(core, true);
+        if (_board.publishDeque(core, true))
+            maybeWakeSocket(socketOf(core), core);
     }
 
     Continuation
@@ -239,10 +365,11 @@ class Simulation
     }
 
     void
-    mailboxDeposit(int receiver, Continuation cont)
+    mailboxDeposit(int receiver, Continuation cont, int actor)
     {
         _cores[receiver].mailbox.push_back(cont);
-        _board.publishMailbox(receiver, true);
+        if (_board.publishMailbox(receiver, true))
+            maybeWakeSocket(socketOf(receiver), actor);
     }
 
     Continuation
@@ -265,6 +392,10 @@ class Simulation
     SimMemory _memory;
     std::vector<FrameState> _frames;
     std::vector<CoreState> _cores;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        _heap;
+    uint64_t _seq = 0;
+    uint64_t _tokenGen = 0;
     SimCounters _counters;
     MemCounters _mem_counters;
     bool _done = false;
@@ -411,6 +542,7 @@ Simulation::stepStealAttempt(int core)
             c.dryStreak = (c.dryStreak + 1) & 3; // wrap: no overflow
             if (c.dryStreak != 0) {
                 ++_counters.boardDryPolls;
+                noteProbeFailure(core);
                 return {_cfg.boardCheckCost, Charge::Idle};
             }
             board_dry = true;
@@ -548,6 +680,7 @@ Simulation::stepStealAttempt(int core)
     }
     if (_cfg.hierarchicalSteals)
         c.esc.onFailedSteal(probed_level);
+    noteProbeFailure(core);
     return {cost, Charge::Idle};
 }
 
@@ -613,17 +746,20 @@ Simulation::step(int core)
 SimResult
 Simulation::run()
 {
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        heap;
-    uint64_t seq = 0;
     for (int c = 0; c < _numCores; ++c)
-        heap.push(Event{0.0, seq++, c});
+        schedule(c, 0.0);
 
     while (!_done) {
-        NUMAWS_ASSERT(!heap.empty());
-        const Event ev = heap.top();
-        heap.pop();
+        NUMAWS_ASSERT(!_heap.empty());
+        const Event ev = _heap.top();
+        _heap.pop();
         CoreState &c = _cores[ev.core];
+        if (ev.token != c.eventToken)
+            continue; // superseded by an earlier targeted wake
+        if (c.parked) {
+            wakeParked(ev.core, ev.time);
+            continue;
+        }
         c.clock = ev.time;
         const auto [cost, charge] = step(ev.core);
         NUMAWS_ASSERT(cost >= 0.0);
@@ -639,7 +775,29 @@ Simulation::run()
             break;
         }
         c.clock += cost;
-        heap.push(Event{c.clock, seq++, ev.core});
+        // Any step that worked or scheduled breaks the fruitless-probe
+        // streak the parking threshold counts.
+        if (charge != Charge::Idle)
+            c.parkFails = 0;
+        if (c.parkRequested) {
+            c.parkRequested = false;
+            // Mirror Runtime::idleWait's registered-then-check: the
+            // board-policy park predicate sees published work and
+            // returns without sleeping (the timer path has no such
+            // predicate — it sleeps regardless, as the runtime does).
+            if (_cfg.parkPolicy == ParkPolicy::Board
+                && _board.anyWorkFor(socketOf(ev.core))) {
+                schedule(ev.core, c.clock);
+            } else {
+                c.parked = true;
+                c.boardWakePending = false;
+                c.parkStart = c.clock;
+                ++_counters.parks;
+                schedule(ev.core, c.clock + parkTimeout());
+            }
+        } else {
+            schedule(ev.core, c.clock);
+        }
     }
 
     SimResult r;

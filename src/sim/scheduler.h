@@ -43,6 +43,7 @@
 #include <optional>
 #include <vector>
 
+#include "sched/parking.h"
 #include "sched/push_policy.h"
 #include "sim/dag.h"
 #include "sim/memory.h"
@@ -89,6 +90,30 @@ struct SimConfig
     VictimPolicy victimPolicy = VictimPolicy::Distance;
     /** Mailbox slots per core (the paper's protocol is capacity 1). */
     int mailboxCapacity = 1;
+    /**
+     * Idle-core parking model (mirrors Runtime::idleWait). 0 disables
+     * the model entirely — cores spin through failed probes as before,
+     * keeping every pre-existing configuration's event sequence
+     * byte-identical. When > 0, a core parks after this many
+     * consecutive fruitless probes (failed steals and dry board polls)
+     * and wakes per parkPolicy, paying boardCheckCost per wakeup check.
+     */
+    int parkAfterFailures = 0;
+    /**
+     * Timer parking wakes every parkPeriodCycles regardless of work
+     * (the threaded runtime's 200us at the paper machine's 2.2 GHz);
+     * Board parking wakes a parked socket when its occupancy words go
+     * 0 -> nonzero, wakeLatencyCycles after the publish, with
+     * parkFallbackCycles as the lost-wakeup / cross-socket insurance.
+     */
+    ParkPolicy parkPolicy = ParkPolicy::Timer;
+    double parkPeriodCycles = 440000.0;    ///< 200us at 2.2 GHz
+    double parkFallbackCycles = 2200000.0; ///< 1ms at 2.2 GHz
+    double wakeLatencyCycles = 4400.0;     ///< ~2us: futex wake + sched-in
+    /** PUSHBACK receiver selection (mirrors RuntimeOptions::pushTarget):
+     * Random probes blind; Board samples the complement of the board's
+     * mailbox bits, falling back to Random when no receiver has room. */
+    PushTarget pushTarget = PushTarget::Random;
     /** Steal-half batching for remote-level (>= two-hop) steals. */
     bool remoteStealHalf = false;
     /** Max continuations one batched remote steal may move (matches
@@ -143,7 +168,11 @@ struct SimConfig
     /**
      * NUMA-WS plus every adaptive extension: hierarchical victim search
      * with escalation, the congestion-adaptive pushing threshold, and
-     * remote steal-half batching.
+     * remote steal-half batching. Since PR 3 the victim policy defaults
+     * to OccupancyAffinity — the informed ladder soaked through PR 2's
+     * BENCH_victim_policy gates (heat ~0.98x flat, matmul probes
+     * ~0.73x flat) before being promoted; pass VictimPolicy::Distance
+     * explicitly to get the blind PR 1 ladder.
      */
     static SimConfig
     adaptiveNumaWs()
@@ -152,6 +181,7 @@ struct SimConfig
         c.hierarchicalSteals = true;
         c.pushPolicy.kind = PushPolicyKind::Adaptive;
         c.remoteStealHalf = true;
+        c.victimPolicy = VictimPolicy::OccupancyAffinity;
         return c;
     }
 

@@ -322,7 +322,10 @@ TEST(AdaptiveSim, InformedPolicySkipsProbesOnHintedWork)
     cfg.victimPolicy = VictimPolicy::Occupancy;
     const sim::SimResult r = sim::simulatePacked(dag, 16, cfg);
 
+    // adaptiveNumaWs() defaults to OccupancyAffinity since PR 3: the
+    // blind baseline must ask for the Distance ladder explicitly.
     sim::SimConfig blind = sim::SimConfig::adaptiveNumaWs();
+    blind.victimPolicy = VictimPolicy::Distance;
     const sim::SimResult rb = sim::simulatePacked(dag, 16, blind);
 
     EXPECT_GT(r.counters.levelSkips + r.counters.boardDryPolls, 0u);
@@ -400,6 +403,10 @@ TEST(AdaptiveRuntime, EscalationCountersAdvanceUnderStarvation)
     o.numWorkers = 2;
     o.numPlaces = 2;
     o.hierarchicalSteals = true;
+    // Pin the blind ladder: under the OccupancyAffinity default a
+    // starving worker's dry-board polls *replace* failed probes, so
+    // escalation can legitimately never fire here.
+    o.victimPolicy = VictimPolicy::Distance;
     Runtime rt(o);
     for (int rep = 0; rep < 20; ++rep) {
         rt.run([] {

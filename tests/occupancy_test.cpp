@@ -115,9 +115,13 @@ struct Frame
 TEST(OccupancyBoardStress, SetBitAlwaysHappensAfterADeposit)
 {
     constexpr int kWorkers = 4;
-    // Each round is a full produce->publish->observe->drain handshake;
-    // keep the count modest so single-core CI hosts stay fast.
-    constexpr int kRounds = 1500;
+    // Each round is a full produce->publish->observe->drain handshake,
+    // i.e. kWorkers * kRounds *serialized* cross-thread handoffs. On a
+    // contended 1-core host every handoff can cost a scheduler
+    // timeslice, so the count directly bounds worst-case wall time —
+    // 1500 rounds flaked into the ctest timeout under -j2 plus load;
+    // 500 keeps the same happens-after coverage at a third the cost.
+    constexpr int kRounds = 500;
     OccupancyBoard board(kWorkers, {0, 0, 1, 1});
     std::vector<Mailbox<Frame>> boxes(kWorkers);
     for (int w = 0; w < kWorkers; ++w)
@@ -148,13 +152,19 @@ TEST(OccupancyBoardStress, SetBitAlwaysHappensAfterADeposit)
         consumers.emplace_back([&] {
             unsigned sweep = 0;
             while (!stop.load(std::memory_order_acquire)) {
+                // The bit is advisory: false-empty is allowed, so a
+                // consumer gated *only* on it could strand a parked
+                // frame forever. Mirror the product's insurance probe:
+                // mostly trust the board, but every 8th *pass* probe
+                // every slot regardless. The cadence must be per pass,
+                // not per observation — a per-observation counter with
+                // kWorkers dividing the cadence always falls through on
+                // the same worker index, which livelocked this test
+                // when the one stale-cleared frame sat on a different
+                // worker.
+                const bool full_sweep = (++sweep & 7) == 0;
                 for (int w = 0; w < kWorkers; ++w) {
-                    // The bit is advisory: false-empty is allowed, so a
-                    // consumer gated *only* on it could strand a parked
-                    // frame forever. Mirror the product's insurance
-                    // probe: mostly trust the board, but sweep every
-                    // slot on a bounded cadence regardless.
-                    if (!board.mailboxOccupied(w) && (++sweep & 7) != 0)
+                    if (!board.mailboxOccupied(w) && !full_sweep)
                         continue;
                     // Bit observed with acquire: the deposit (and the
                     // payload written before it) must be visible. The
