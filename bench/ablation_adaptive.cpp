@@ -44,15 +44,15 @@ struct Variant
     {
         sim::SimConfig c = sim::SimConfig::numaWs();
         if (adaptivePush())
-            c.pushPolicy.kind = PushPolicyKind::Adaptive;
+            c.sched.pushPolicy.kind = PushPolicyKind::Adaptive;
         if (hierarchical()) {
-            c.hierarchicalSteals = true;
-            c.remoteStealHalf = true;
+            c.sched.hierarchicalSteals = true;
+            c.sched.remoteStealHalf = true;
             // The hierarchical rows measure the *shipped* ladder, whose
             // victim policy PR 3 flipped to OccupancyAffinity after the
             // PR 2 soak — the acceptance gate below compares the new
             // default, not the retired blind ladder.
-            c.victimPolicy = VictimPolicy::OccupancyAffinity;
+            c.sched.victimPolicy = VictimPolicy::OccupancyAffinity;
         }
         return c;
     }
@@ -64,10 +64,10 @@ struct Variant
         o.numWorkers = workers;
         o.numPlaces = workers >= 4 ? 4 : (workers >= 2 ? 2 : 1);
         if (adaptivePush())
-            o.pushPolicy.kind = PushPolicyKind::Adaptive;
+            o.sched.pushPolicy.kind = PushPolicyKind::Adaptive;
         if (hierarchical()) {
-            o.hierarchicalSteals = true;
-            o.remoteStealHalf = true;
+            o.sched.hierarchicalSteals = true;
+            o.sched.remoteStealHalf = true;
         }
         return o;
     }

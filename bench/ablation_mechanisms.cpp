@@ -45,35 +45,31 @@ main(int argc, char **argv)
 
         struct Variant
         {
-            const char *name;
+            std::string name;
             sim::SimConfig cfg;
         };
         std::vector<Variant> variants;
         variants.push_back({"classic WS", sim::SimConfig::classicWs()});
         {
             sim::SimConfig c = sim::SimConfig::classicWs();
-            c.biasedSteals = true;
+            c.sched.biasedSteals = true;
             variants.push_back({"bias only", c});
         }
         {
             sim::SimConfig c = sim::SimConfig::numaWs();
-            c.biasedSteals = false;
+            c.sched.biasedSteals = false;
             variants.push_back({"mailboxes only", c});
         }
         {
             sim::SimConfig c = sim::SimConfig::numaWs();
-            c.coinFlip = false;
+            c.sched.coinFlip = false;
             variants.push_back({"no coin flip", c});
         }
         for (int threshold : {1, 4, 16}) {
             sim::SimConfig c = sim::SimConfig::numaWs();
-            c.pushThreshold = threshold;
-            static char names[3][32];
-            static int idx = 0;
-            std::snprintf(names[idx], sizeof(names[idx]),
-                          "numa-ws thr=%d", threshold);
-            variants.push_back({names[idx], c});
-            ++idx;
+            c.sched.pushThreshold = threshold;
+            variants.push_back(
+                {"numa-ws thr=" + std::to_string(threshold), c});
         }
 
         for (const Variant &v : variants) {

@@ -117,9 +117,13 @@ configOf(const Cell &cell, uint64_t seed)
     sim::SimConfig c = sim::SimConfig::adaptiveNumaWs();
     // Enable the parking model: park after a handful of fruitless
     // probes, the regime Runtime::mainLoop enters after its spin budget.
-    c.parkAfterFailures = 4;
-    c.parkPolicy = cell.park;
-    c.pushTarget = cell.push;
+    // Every cell sets both policy axes explicitly, so the grid keeps
+    // measuring timer/random baselines against the (now default) board
+    // protocols.
+    c.modelParking = true;
+    c.sched.parkSpinFailures = 4;
+    c.sched.parkPolicy = cell.park;
+    c.sched.pushTarget = cell.push;
     c.seed = seed;
     return c;
 }
@@ -140,9 +144,9 @@ threadedRows(JsonReport &report, double scale, int workers)
         RuntimeOptions o;
         o.numWorkers = workers;
         o.numPlaces = workers >= 4 ? 4 : (workers >= 2 ? 2 : 1);
-        o.hierarchicalSteals = true;
-        o.parkPolicy = cell.park;
-        o.pushTarget = cell.push;
+        o.sched.hierarchicalSteals = true;
+        o.sched.parkPolicy = cell.park;
+        o.sched.pushTarget = cell.push;
         Runtime rt(o);
 
         const double seconds = runThreadedFibHeat(rt, scale);

@@ -1,9 +1,8 @@
 #!/usr/bin/env python3
-"""Print old/new ratios between two bench-report directories.
+"""Perf trajectory over bench-report artifacts: report and gate modes.
 
-CI downloads the previous successful run's ``bench-reports`` artifact
-into one directory and compares it against the JSON reports the current
-run just produced, so a perf history accumulates run over run:
+Report mode (the PR 3 behavior) prints old/new ratios between two
+bench-report directories::
 
     bench_trajectory.py PREV_DIR NEW_DIR [file.json ...]
 
@@ -12,9 +11,29 @@ engine, cores/workers) and averaged over seeds; for each group present
 in both runs the script prints elapsed-time and counter ratios
 (new/old), plus the provenance (host_cores, git_sha) of both sides so a
 ratio from a differently-sized runner is never mistaken for a
-regression. Purely informational: always exits 0 when inputs parse
-(missing previous artifacts are expected on the first run — exit 0 with
-a note), so the gating stays in the benches themselves.
+regression. Purely informational: always exits 0 when inputs parse.
+
+Gate mode (PR 4) turns the accumulated trajectory into a CI gate::
+
+    bench_trajectory.py --gate HIST_IN HIST_OUT NEW_DIR [file.json ...]
+                        [--override]
+
+HIST_IN is the rolling history file carried inside the
+``bench-reports-threaded`` artifact (missing on the first run: empty
+history); the current run's per-group means are appended and written to
+HIST_OUT even when the gate fails. Note the CI consumption model: the
+next run downloads the artifact of the previous *successful* main run,
+so an entry written by a run that ultimately fails (this gate or any
+other job step) is uploaded but never consulted — history effectively
+accumulates over successful main runs only, and the trailing window
+thins by one for every failed run in between. A group FAILS when, among the trailing history entries with
+the *same host_cores shape* (runner-size changes must never read as
+regressions), at least GATE_MIN_RUNS runs contain the group and the new
+elapsed_s exceeds the trailing mean by more than GATE_TOLERANCE. With
+fewer runs of history the group only reports. ``--override`` (CI sets
+it from the ``perf-override`` PR label) demotes failures to warnings
+for intentional perf shifts; exit is then 0 and history still records
+the new level, so the next run gates against it.
 """
 
 import json
@@ -41,6 +60,14 @@ METRICS = (
     "wakeups",
     "push_attempts",
 )
+
+# Gate-mode knobs: >10% over the trailing mean of the last window fails
+# once >= GATE_MIN_RUNS comparable runs exist for the host_cores shape.
+GATE_METRIC = "elapsed_s"
+GATE_TOLERANCE = 0.10
+GATE_MIN_RUNS = 3
+GATE_WINDOW = 5
+HISTORY_MAX_RUNS = 20
 
 
 def load_rows(path):
@@ -74,14 +101,15 @@ def aggregate(rows):
     return out
 
 
-def main(argv):
-    if len(argv) < 3:
-        print(__doc__)
-        return 2
-    prev_dir, new_dir = argv[1], argv[2]
-    names = argv[3:] or sorted(
+def report_files(new_dir, names):
+    return names or sorted(
         n for n in os.listdir(new_dir) if n.endswith(".json")
+        if n != "trajectory_history.json"
     )
+
+
+def run_report(prev_dir, new_dir, names):
+    names = report_files(new_dir, names)
     if not os.path.isdir(prev_dir):
         print(
             "bench_trajectory: no previous artifact at %r "
@@ -125,6 +153,123 @@ def main(argv):
         if only_new:
             print("  (+%d new row groups)" % len(only_new))
     return 0
+
+
+def group_label(name, key):
+    return "%s::%s" % (name, "/".join(str(v) for _, v in key))
+
+
+def current_run_entry(new_dir, names):
+    """One history entry for this run: per-group metric means."""
+    entry = {"host_cores": None, "git_sha": None, "groups": {}}
+    for name in report_files(new_dir, names):
+        path = os.path.join(new_dir, name)
+        if not os.path.exists(path):
+            continue
+        rows = load_rows(path)
+        if rows and entry["host_cores"] is None:
+            entry["host_cores"] = rows[0].get("host_cores")
+            entry["git_sha"] = rows[0].get("git_sha")
+        for key, means in aggregate(rows).items():
+            entry["groups"][group_label(name, key)] = {
+                m: v for m, v in means.items() if m in METRICS
+            }
+    return entry
+
+
+def run_gate(hist_in, hist_out, new_dir, names, override):
+    history = {"runs": []}
+    if os.path.exists(hist_in):
+        try:
+            history = json.load(open(hist_in))
+        except (ValueError, OSError) as e:
+            print("bench_trajectory: unreadable history %r (%s) — "
+                  "starting fresh" % (hist_in, e))
+    runs = history.get("runs", [])
+    entry = current_run_entry(new_dir, names)
+    if not entry["groups"]:
+        # A perf gate with nothing to measure must fail loudly, not go
+        # green with zero coverage (and must not pollute the history
+        # with a null entry).
+        print(
+            "::error::perf gate: no bench rows found under %r — "
+            "nothing was measured" % new_dir
+        )
+        return 1
+
+    failures = []
+    comparable = [
+        r for r in runs if r.get("host_cores") == entry["host_cores"]
+    ]
+    for label, means in sorted(entry["groups"].items()):
+        if GATE_METRIC not in means:
+            continue
+        trail = [
+            r["groups"][label][GATE_METRIC]
+            for r in comparable[-GATE_WINDOW:]
+            if label in r.get("groups", {})
+            and GATE_METRIC in r["groups"][label]
+        ]
+        if len(trail) < GATE_MIN_RUNS:
+            print(
+                "  %-70s %d/%d runs of history — reporting only"
+                % (label, len(trail), GATE_MIN_RUNS)
+            )
+            continue
+        mean = sum(trail) / len(trail)
+        ratio = means[GATE_METRIC] / mean if mean > 0 else 1.0
+        verdict = "ok"
+        if ratio > 1.0 + GATE_TOLERANCE:
+            verdict = "REGRESSION"
+            failures.append((label, ratio))
+        print(
+            "  %-70s %.3fx vs trailing mean of %d runs  %s"
+            % (label, ratio, len(trail), verdict)
+        )
+
+    # Record this run either way: an overridden shift becomes the new
+    # baseline instead of re-failing every subsequent run.
+    runs.append(entry)
+    history["runs"] = runs[-HISTORY_MAX_RUNS:]
+    with open(hist_out, "w") as f:
+        json.dump(history, f, indent=1)
+    print(
+        "bench_trajectory: history now %d runs (%d on this "
+        "host_cores shape) -> %s"
+        % (len(history["runs"]), len(comparable) + 1, hist_out)
+    )
+
+    if failures:
+        for label, ratio in failures:
+            print(
+                "::%s::perf gate: %s at %.3fx (> %.2fx allowed)"
+                % (
+                    "warning" if override else "error",
+                    label,
+                    ratio,
+                    1.0 + GATE_TOLERANCE,
+                )
+            )
+        if override:
+            print("bench_trajectory: perf-override set — regressions "
+                  "recorded as the new baseline, not failed")
+            return 0
+        return 1
+    return 0
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--override"]
+    override = "--override" in argv[1:]
+    if args and args[0] == "--gate":
+        if len(args) < 4:
+            print(__doc__)
+            return 2
+        return run_gate(args[1], args[2], args[3], args[4:], override)
+    if len(args) < 2:
+        print(__doc__)
+        return 2
+    return run_report(args[0], args[1], args[2:])
 
 
 if __name__ == "__main__":

@@ -9,27 +9,16 @@
  * balancing always comes first (a starving worker will steal against the
  * hint rather than idle).
  *
- * Configuration knobs mirror the paper's mechanisms one-for-one so every
- * mechanism can be ablated: biased vs uniform victim selection, mailboxes
- * on/off, the pushing threshold, and the mailbox-vs-deque coin flip.
- *
- * On top of the paper's constant-knob mechanisms sit the adaptive
- * extensions, each independently ablatable:
- *  - hierarchicalSteals: victims are searched level-by-level through the
- *    distance hierarchy (core -> place -> socket -> remote), widening one
- *    level after stealEscalationFailures consecutive failed attempts and
- *    snapping back on success (StealEscalation). At the outermost level
- *    every victim is reachable, so a starving worker steals against any
- *    place hint rather than idling.
- *  - pushPolicy: the pushing threshold becomes pluggable (PushPolicy);
- *    PushPolicyKind::Constant reproduces the paper, ::Adaptive widens the
- *    threshold under own-deque pressure and tightens it when target
- *    mailboxes keep rejecting deposits. pushThreshold stays the constant
- *    value and the adaptive base.
- *  - remoteStealHalf: a steal that lands on a remote-level victim (two or
- *    more hops) takes up to half of its deque in one locked batch
- *    (WsDeque::stealHalf), amortizing the cross-socket latency; extras go
- *    to the thief's own deque, where they are again stealable.
+ * Since PR 4 every scheduling *decision* — victim selection, the
+ * mailbox-vs-deque coin flip, PUSHBACK receivers and thresholds,
+ * escalation, dry-poll cadence, parking streaks and tuning — lives in
+ * the engine-agnostic StealCore (sched/steal_core.h), configured by the
+ * SchedPolicy nested in RuntimeOptions (sched/policy.h, where the full
+ * knob table is documented). Worker::trySteal/pushBack/mainLoop are
+ * thin drivers that execute the core's actions against the threaded
+ * mechanics: real deques, mailboxes, condition variables, and the
+ * ParkingLot. The simulator drives the very same core, so ablations on
+ * either engine toggle one shared implementation.
  */
 #ifndef NUMAWS_RUNTIME_RUNTIME_H
 #define NUMAWS_RUNTIME_RUNTIME_H
@@ -48,7 +37,8 @@
 #include "runtime/task.h"
 #include "sched/occupancy.h"
 #include "sched/parking.h"
-#include "sched/push_policy.h"
+#include "sched/policy.h"
+#include "sched/steal_core.h"
 #include "support/cache_aligned.h"
 #include "support/panic.h"
 #include "support/rng.h"
@@ -65,74 +55,27 @@ class Runtime;
 /** Hard cap on frames moved by one batched remote steal. */
 inline constexpr std::size_t kStealHalfCap = 16;
 
-/** Runtime construction parameters. */
+/**
+ * Runtime construction parameters: engine-side knobs only. Every
+ * scheduling *decision* knob (victim selection, parking, PUSHBACK
+ * targeting, escalation, mailbox capacity, ...) lives in the nested
+ * SchedPolicy, shared verbatim with the simulator's SimConfig — see
+ * sched/policy.h for the full table and PR 4 migration notes.
+ */
 struct RuntimeOptions
 {
     /** Worker threads; 0 means one per host CPU. */
     int numWorkers = 0;
     /** Virtual places the workers are spread over. */
     int numPlaces = 1;
-    /** Locality-biased steals (uniform when false == classic WS). */
-    bool biasedSteals = true;
-    BiasWeights biasWeights{};
-    /** Lazy work pushing via mailboxes. */
-    bool useMailboxes = true;
-    /** Constant pushing threshold (Section III-B); adaptive base. */
-    int pushThreshold = 4;
-    /** Pushing-threshold policy (constant reproduces the paper). */
-    PushPolicyConfig pushPolicy{};
-    /** Hierarchical level-by-level victim search with escalation. */
-    bool hierarchicalSteals = false;
-    /** Consecutive failed steals per level before widening the search
-     * (the fixed budget, and the adaptive escalation's base). */
-    int stealEscalationFailures = 2;
-    /** Fixed (constant budget) or Adaptive (per-level success-rate EWMA)
-     * escalation; only meaningful with hierarchicalSteals. */
-    EscalationPolicy escalationPolicy = EscalationPolicy::Fixed;
-    /**
-     * Victim-selection policy for hierarchical steals: Distance is PR 1's
-     * blind ladder; Occupancy consults the OccupancyBoard to skip dry
-     * levels and weight occupied victims; OccupancyAffinity additionally
-     * boosts sockets homing the thief's current task's data (via pageMap
-     * when set, else the task's place hint). Defaults to the full
-     * informed policy since PR 3 (it soaked through PR 2's
-     * BENCH_victim_policy gates); only consulted when hierarchicalSteals
-     * is on, so the paper-faithful flat configuration is unaffected.
-     */
-    VictimPolicy victimPolicy = VictimPolicy::OccupancyAffinity;
-    /** Mailbox slots per worker (the paper's protocol is capacity 1). */
-    int mailboxCapacity = 1;
-    /**
-     * Idle-worker parking: Timer reproduces the bounded periodic wait
-     * (every idle worker re-probes each period); Board parks workers
-     * per socket and wakes only the sockets whose OccupancyBoard words
-     * transitioned 0 -> nonzero, with parkFallbackUs as lost-wakeup
-     * insurance. Board parking forces board publication even when
-     * victimPolicy is Distance (see Worker::boardPublishing).
-     */
-    ParkPolicy parkPolicy = ParkPolicy::Timer;
-    /** Timer-policy wait period, microseconds. */
-    int parkTimerUs = 200;
-    /** Board-policy fallback timeout, microseconds: the most a lost or
-     * cross-socket wakeup can cost before the worker re-probes. */
-    int parkFallbackUs = 1000;
-    /**
-     * PUSHBACK receiver selection: Random probes blind (the paper's
-     * protocol); Board picks among receivers whose board mailbox bit
-     * is clear (room advertised), falling back to Random when the
-     * complement is empty. Board targeting forces board publication.
-     */
-    PushTarget pushTarget = PushTarget::Random;
+    /** The unified scheduling policy (sched/policy.h). */
+    SchedPolicy sched{};
     /**
      * Optional page-home registry for data-home affinity (not owned;
      * must outlive the runtime). Tasks spawned with a data range resolve
      * their home sockets through it.
      */
     const PageMap *pageMap = nullptr;
-    /** Steal-half batching for remote-level (>= two-hop) steals. */
-    bool remoteStealHalf = false;
-    /** Max frames one batched remote steal may move (clamped to 16). */
-    int stealHalfMax = 8;
     /** Pin worker threads to host CPUs (best effort). */
     bool pinThreads = false;
     /** Root seed; worker RNGs derive from it. */
@@ -155,6 +98,9 @@ struct WorkerCounters
     uint64_t tasksOnHintedPlace = 0; ///< hinted tasks run where hinted
     uint64_t stealHalfBatches = 0;   ///< batched remote steals performed
     uint64_t stealHalfTasks = 0;     ///< tasks moved by batched steals
+    /** Decision counters (stealAttempts above, and the three below) are
+     * maintained by each worker's StealCore — the shared policy brain —
+     * and folded in by Runtime::stats() via Worker::foldCoreCounters. */
     uint64_t escalations = 0;        ///< hierarchical level widenings
     uint64_t levelSkips = 0;         ///< dry levels skipped via the board
     uint64_t dryPolls = 0;           ///< probes skipped on a dry board
@@ -265,6 +211,17 @@ class Worker
 
     WorkerCounters &counters() { return _counters; }
     TimeSplit &timeSplit() { return _time; }
+    /** Fold the StealCore decision counters into @p into
+     * (Runtime::stats). */
+    void
+    foldCoreCounters(WorkerCounters &into) const
+    {
+        const StealCoreCounters &c = _core.counters();
+        into.stealAttempts += c.stealAttempts;
+        into.dryPolls += c.dryPolls;
+        into.levelSkips += c.levelSkips;
+        into.escalations += c.escalations;
+    }
     /** Fold the atomic park counters into @p into (Runtime::stats). */
     void
     foldParkCounters(WorkerCounters &into) const
@@ -286,9 +243,8 @@ class Worker
     }
     Mailbox<TaskBase> &mailbox() { return _mailbox; }
     WsDeque<TaskBase> &deque() { return _deque; }
-    Rng &rng() { return _rng; }
-    PushPolicy &pushPolicy() { return _pushPolicy; }
-    StealEscalation &escalation() { return _escalation; }
+    /** The worker's scheduling brain (decisions, RNG, tuners). */
+    StealCore &core() { return _core; }
 
     /** @name Runtime-internal scheduling entry points */
     /// @{
@@ -330,36 +286,22 @@ class Worker
     /** Refresh the data-home affinity mask from @p task (executeTask). */
     void noteAffinity(const TaskBase *task);
 
-    /** The own deque just gained work: publish the bit and notify per
-     * the park policy (targeted edge wake under Board, global notify
-     * under Timer). The single wake-protocol site for pushTask and the
-     * batched-steal extras. */
+    /** The own deque just gained work: publish the bit and wake per
+     * the core's WakeDirective (targeted edge wake under board
+     * parking, global notify under the timer). The single
+     * wake-protocol site for pushTask and the batched-steal extras. */
     void publishOwnDequeAndNotify();
-
-    /** Informed victim selection active: the steal path reads the
-     * board. Defined after Runtime (needs its definition). */
-    bool boardInformed() const;
-
-    /** Board publication active: informed steals, board parking, or
-     * board-guided PUSHBACK — the union of every board consumer, so a
-     * config with no consumer never pays a single RMW, while any one
-     * consumer gets a fully published board. */
-    bool boardPublishing() const;
 
     Runtime &_runtime;
     int _id;
     Place _place;
     Place _currentHint = kAnyPlace;
-    Rng _rng;
     WsDeque<TaskBase> _deque;
     Mailbox<TaskBase> _mailbox;
-    PushPolicy _pushPolicy;
-    StealEscalation _escalation;
-    /** Sockets homing the data of the task this worker last ran (bit s
-     * == socket s); feeds OccupancyAffinity victim weighting. */
-    uint32_t _affinityMask = 0;
-    /** Consecutive all-dry board polls; every 4th probes anyway. */
-    int _dryStreak = 0;
+    /** Every scheduling decision (victim, coin flip, receivers,
+     * escalation, park streaks/tuning) routes through here — the same
+     * core the simulator drives, so the engines cannot diverge. */
+    StealCore _core;
     /** Park accounting advances while the runtime is quiescent (idle
      * workers park between runs), so a concurrent stats() read must
      * not race it: atomics, relaxed (counters, not synchronization). */
@@ -429,13 +371,15 @@ class Runtime
         return _rootSlot.load(std::memory_order_acquire) != nullptr;
     }
     /**
-     * Park the calling worker (of @p socket) until work might exist.
-     * Timer policy: bounded global wait. Board policy: per-socket
-     * ParkingLot slot with the bounded fallback timeout.
+     * Park the calling worker (of @p socket) until work might exist,
+     * for at most @p timeout_us microseconds (the caller's StealCore
+     * supplies the tuned bound). Timer policy: bounded global wait.
+     * Board policy: per-socket ParkingLot slot with the bounded
+     * fallback timeout.
      * @return true when the wait ended by a notification or a
      *         work/shutdown predicate, false on a plain timeout.
      */
-    bool idleWait(int socket);
+    bool idleWait(int socket, int timeout_us);
     /** Wake every parked worker (root injection, shutdown — events any
      * socket may need to see). */
     void notifyWork();
@@ -484,22 +428,6 @@ class Runtime
 // ---------------------------------------------------------------------
 // Inline template implementations
 // ---------------------------------------------------------------------
-
-inline bool
-Worker::boardInformed() const
-{
-    const RuntimeOptions &o = _runtime.options();
-    return o.hierarchicalSteals
-           && o.victimPolicy != VictimPolicy::Distance;
-}
-
-inline bool
-Worker::boardPublishing() const
-{
-    const RuntimeOptions &o = _runtime.options();
-    return boardInformed() || o.parkPolicy == ParkPolicy::Board
-           || o.pushTarget == PushTarget::Board;
-}
 
 template <typename F>
 void

@@ -35,12 +35,10 @@ Runtime::Runtime(RuntimeOptions options)
           options.numWorkers > 0 ? options.numWorkers : hostCpuCount())),
       _dist(_machine,
             options.numWorkers > 0 ? options.numWorkers : hostCpuCount(),
-            options.biasedSteals ? options.biasWeights
-                                 : BiasWeights::uniform()),
+            options.sched.biasedSteals ? options.sched.biasWeights
+                                       : BiasWeights::uniform()),
       _board(_dist.numWorkers(), _dist.workerSockets()),
-      _parking(options.parkPolicy == ParkPolicy::Board
-                   ? _board.numSockets()
-                   : 0)
+      _parking(options.sched.boardParking() ? _board.numSockets() : 0)
 {
     const int workers =
         _options.numWorkers > 0 ? _options.numWorkers : hostCpuCount();
@@ -89,6 +87,7 @@ Runtime::stats() const
     for (const auto &w : _workers) {
         s.counters.merge(const_cast<Worker &>(*w).counters());
         w->foldParkCounters(s.counters);
+        w->foldCoreCounters(s.counters);
         s.time.merge(const_cast<Worker &>(*w).timeSplit());
     }
     return s;
@@ -101,21 +100,26 @@ Runtime::resetStats()
     for (auto &w : _workers) {
         w->counters() = WorkerCounters{};
         w->resetParkCounters();
+        w->core().resetCounters();
         w->timeSplit() = TimeSplit{};
     }
 }
 
 bool
-Runtime::idleWait(int socket)
+Runtime::idleWait(int socket, int timeout_us)
 {
-    if (_options.parkPolicy == ParkPolicy::Board && _parking.enabled()) {
+    // The ParkingLot exists iff the policy parks per socket, so its
+    // enabled() bit is the park-policy dispatch — no enum branching
+    // here. The (possibly EWMA-tuned) timeout comes from the caller's
+    // StealCore.
+    if (_parking.enabled()) {
         // Park tagged with the socket; only an occupancy edge on this
         // socket (or notifyWork) wakes it before the fallback. The
         // predicate runs after waiter registration, so a wake issued
         // once we are registered is never lost; the fallback bounds
         // the one pre-registration publish window (parking.h docs).
         return _parking.park(
-            socket, std::chrono::microseconds(_options.parkFallbackUs),
+            socket, std::chrono::microseconds(timeout_us),
             [this, socket] {
                 // rootPending: the injection slot is not on the board,
                 // and only an awake worker 0 can claim it.
@@ -127,8 +131,7 @@ Runtime::idleWait(int socket)
     if (shuttingDown())
         return true;
     // Bounded wait: a lost wakeup costs at most one timeout period.
-    return _parkCv.wait_for(
-               lock, std::chrono::microseconds(_options.parkTimerUs))
+    return _parkCv.wait_for(lock, std::chrono::microseconds(timeout_us))
            == std::cv_status::no_timeout;
 }
 

@@ -37,39 +37,26 @@ WorkerCounters::merge(const WorkerCounters &o)
     // folds them via foldParkCounters, so aggregates merge plainly.)
 }
 
-namespace {
-
-EscalationConfig
-escalationConfigOf(const RuntimeOptions &opts)
-{
-    EscalationConfig cfg;
-    cfg.kind = opts.escalationPolicy;
-    cfg.failuresPerLevel = opts.stealEscalationFailures;
-    return cfg;
-}
-
-} // namespace
-
 Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
                std::size_t deque_capacity)
     : _runtime(runtime),
       _id(id),
       _place(place),
-      _rng(seed),
       _deque(deque_capacity),
-      _mailbox(runtime.options().mailboxCapacity),
-      _pushPolicy(runtime.options().pushThreshold,
-                  runtime.options().pushPolicy),
-      _escalation(escalationConfigOf(runtime.options())),
+      _mailbox(runtime.options().sched.mailboxCapacity),
+      _core(runtime.options().sched,
+            EngineView{&runtime.stealDistribution(), &runtime.board()},
+            id, place, seed),
       _mark(nowNs())
 {
     // Mailbox occupancy reaches the board from inside tryPut/tryTake, so
     // pushers and thieves publish transitions without extra call sites;
     // under board parking the deposit edge also wakes this worker's
     // parked socket from the same spot.
-    if (boardPublishing()) {
+    const SchedPolicy &pol = runtime.options().sched;
+    if (pol.boardPublishing()) {
         _mailbox.attachBoard(&runtime.board(), id);
-        if (runtime.options().parkPolicy == ParkPolicy::Board)
+        if (pol.boardParking())
             _mailbox.attachParking(&runtime.parkingLot(), place);
     }
 }
@@ -84,17 +71,22 @@ void
 Worker::publishOwnDequeAndNotify()
 {
     // Edge-triggered publish: free of RMWs while the bit already says
-    // nonempty, so the work path stays the paper's two stores.
+    // nonempty, so the work path stays the paper's two stores. The core
+    // turns the edge verdict into a wake directive: under board parking
+    // only a 0 -> nonzero socket edge can find sleepers worth waking
+    // (the wakeup-storm cut board parking buys on the spawn path).
     const bool socket_edge =
-        boardPublishing() && _runtime.board().publishDeque(_id, true);
-    if (_runtime.options().parkPolicy == ParkPolicy::Board) {
-        // Only a 0 -> nonzero socket edge can find sleepers worth
-        // waking; every other push skips notification entirely — the
-        // wakeup-storm cut board parking buys on the spawn path.
-        if (socket_edge)
-            _runtime.notifyWorkOn(_place);
-    } else {
+        _runtime.options().sched.boardPublishing()
+        && _runtime.board().publishDeque(_id, true);
+    switch (_core.onPublishEdge(socket_edge)) {
+      case WakeDirective::TargetedSocket:
+        _runtime.notifyWorkOn(_place);
+        break;
+      case WakeDirective::Global:
         _runtime.notifyWork();
+        break;
+      case WakeDirective::None:
+        break;
     }
 }
 
@@ -108,7 +100,7 @@ Worker::pushTask(TaskBase *task)
 TaskBase *
 Worker::acquireLocal()
 {
-    const bool publishing = boardPublishing();
+    const bool publishing = _runtime.options().sched.boardPublishing();
     // Work path first: the tail of the own deque...
     if (TaskBase *t = _deque.popTail()) {
         // Publish the *actual* state, not just the pop-to-empty edge: a
@@ -140,73 +132,18 @@ Worker::trySteal()
 {
     if (_runtime.numWorkers() <= 1)
         return nullptr;
-    const RuntimeOptions &opts = _runtime.options();
-    const StealDistribution &dist = _runtime.stealDistribution();
-    OccupancyBoard &board = _runtime.board();
-    const bool informed = boardInformed();
-    const bool publishing = boardPublishing();
-    // Board poll in place of a probe: when nothing anywhere advertises
-    // work, skip the victim probe entirely — that is the probe the board
-    // was built to save. Every 4th consecutive dry poll still probes
-    // (insurance: a false-empty board may lag reality), so starvation is
-    // impossible, merely delayed by a bounded factor.
-    bool board_dry = false;
-    if (informed && !board.anyWorkFor(_place)) {
-        _dryStreak = (_dryStreak + 1) & 3; // wrap: no overflow while idle
-        if (_dryStreak != 0) {
-            ++_counters.dryPolls;
-            return nullptr;
-        }
-        board_dry = true;
-    } else {
-        _dryStreak = 0;
-    }
-    ++_counters.stealAttempts;
-    int victim_id;
-    int probed_level = -1; // level the probe sampled at (EWMA credit)
-    if (opts.hierarchicalSteals) {
-        // Level-by-level search: sample only within the current
-        // escalation radius; failures below widen it, success resets it.
-        int level = _escalation.level();
-        if (informed) {
-            // Board consult: jump past provably-dry levels without
-            // burning the failures-per-level budget on them (the skip
-            // and the weighted pick share one board snapshot). An
-            // all-dry insurance probe widens to the outermost level
-            // too, but that is not a board-informed skip — don't count
-            // it as one.
-            const int ladder_level = level;
-            victim_id = dist.sampleVictimInformed(
-                _id, &level, opts.victimPolicy, board, _affinityMask,
-                _rng);
-            if (level != ladder_level && !board_dry)
-                ++_counters.levelSkips;
-        } else {
-            victim_id = dist.sampleAtLevel(_id, level, _rng);
-        }
-        probed_level = level;
-    } else {
-        victim_id = dist.sample(_id, _rng);
-    }
-    Worker &victim = _runtime.worker(victim_id);
+    const SchedPolicy &pol = _runtime.options().sched;
+    // All decisions — dry-poll cadence, victim, mailbox-vs-deque
+    // inspection order, batching — come from the core; this driver only
+    // executes them against the real deques and mailboxes.
+    const StealAction action = _core.nextAction();
+    if (action.kind == StealAction::Kind::DryPoll)
+        return nullptr;
+    Worker &victim = _runtime.worker(action.victim);
 
     TaskBase *task = nullptr;
     bool from_mailbox = false;
-    // BIASEDSTEALWITHPUSH: flip a coin between the victim's mailbox and
-    // its deque. Always checking the mailbox first would let a critical
-    // node at a deque head starve (Section IV).
-    bool check_mailbox = opts.useMailboxes && _rng.flip();
-    // One-sided informed override: a *set* mailbox bit is never invented
-    // (board contract), so steering the inspection toward it is sound.
-    // An *unset* bit may be false-empty, so it must never suppress the
-    // mailbox check — the coin's 50% inspection is the repair mechanism
-    // that eventually finds a parked frame whose publication was lost,
-    // even while the victim's deque stays nonempty forever.
-    if (informed && opts.useMailboxes
-        && board.mailboxOccupied(victim_id)
-        && !board.dequeNonempty(victim_id))
-        check_mailbox = true;
-    if (check_mailbox) {
+    if (action.checkMailboxFirst) {
         task = victim.mailbox().tryTake();
         from_mailbox = task != nullptr;
         // Outcome 1 (mailbox empty): fall through to the deque.
@@ -214,13 +151,8 @@ Worker::trySteal()
     std::size_t batch_extra = 0;
     TaskBase *batch[kStealHalfCap];
     if (task == nullptr) {
-        // Remote-level victims pay a full cross-socket round trip per
-        // steal, so take a batch there; closer victims keep the paper's
-        // single-frame protocol.
-        if (opts.remoteStealHalf
-            && dist.levelOf(_id, victim_id) == kLevelRemote) {
-            std::size_t cap = static_cast<std::size_t>(
-                opts.stealHalfMax > 0 ? opts.stealHalfMax : 1);
+        if (action.remoteBatch) {
+            std::size_t cap = static_cast<std::size_t>(action.batchMax);
             if (cap > kStealHalfCap)
                 cap = kStealHalfCap;
             const std::size_t n = victim.deque().stealHalf(batch, cap);
@@ -233,20 +165,12 @@ Worker::trySteal()
         }
         // The probe already paid for the cache traffic: repair the
         // victim's staleness (a 1-bit over an empty deque) for free.
-        if (publishing && victim.deque().empty())
-            board.publishDeque(victim_id, false);
+        if (pol.boardPublishing() && victim.deque().empty())
+            _runtime.board().publishDeque(action.victim, false);
     }
-    if (task == nullptr) {
-        if (opts.hierarchicalSteals) {
-            const int before = _escalation.level();
-            _escalation.onFailedSteal(probed_level);
-            if (_escalation.level() != before)
-                ++_counters.escalations;
-        }
+    _core.onStealResult(action, task != nullptr);
+    if (task == nullptr)
         return nullptr;
-    }
-    if (opts.hierarchicalSteals)
-        _escalation.onSuccessfulSteal(probed_level);
 
     // Successful steal: everything past this point is scheduler
     // bookkeeping, charged to scheduling time (the span term).
@@ -285,54 +209,37 @@ Worker::trySteal()
 bool
 Worker::pushBack(TaskBase *task)
 {
-    const RuntimeOptions &opts = _runtime.options();
-    if (!opts.useMailboxes)
+    if (!_runtime.options().sched.useMailboxes)
         return false;
     const Place target = task->place();
     NUMAWS_ASSERT(isConcretePlace(target));
     const auto [first, last] = _runtime.workersOfPlace(target);
     if (first >= last)
         return false;
-    OccupancyBoard &board = _runtime.board();
-    const bool guided =
-        opts.pushTarget == PushTarget::Board && board.enabled();
-    // The policy sees our own deque depth (pressure widens the cap) and
+    // The core sees our own deque depth (pressure widens the cap) and
     // every rejection below (congestion tightens it). Reading the live
     // threshold each iteration keeps the loop bounded either way: the
     // frame's lifetime push count only grows, the cap only shrinks under
     // rejection, and a cap at or below the count exits to the give-up
     // path, where load balance wins over locality.
-    _pushPolicy.observeDequeDepth(_deque.size());
+    _core.beginPushback(static_cast<int64_t>(_deque.size()));
     while (task->pushCount()
-           < static_cast<uint32_t>(_pushPolicy.threshold())) {
+           < static_cast<uint32_t>(_core.pushThreshold())) {
         ++_counters.pushbackAttempts;
-        // Board-guided receiver: sample only among workers whose
-        // mailbox bit advertises room (never-invented occupancy means a
-        // set bit is always a real frame, so skipping it saves a
-        // guaranteed-wasted probe; a clear bit may be stale, in which
-        // case tryPut still rejects and we retry as before). When every
-        // bit on the place is set — or the knob is off — probe blind.
-        int receiver = -1;
-        if (guided) {
-            receiver = pickClearMailbox(
-                first, last, /*self=*/-1, board.mailboxBits(target),
-                [&board](int w) { return board.workerMask(w); }, _rng);
-        }
-        if (receiver < 0)
-            receiver =
-                first
-                + static_cast<int>(_rng.nextBounded(
-                    static_cast<uint64_t>(last - first)));
+        const int receiver =
+            _core.pickPushReceiver(first, last, /*self=*/-1, target);
         if (_runtime.worker(receiver).mailbox().tryPut(task)) {
             ++_counters.pushbackSuccesses;
-            _pushPolicy.onPushSuccess();
-            // Board parking: tryPut already woke the receiver's socket
-            // on the deposit's occupancy edge (Mailbox::attachParking).
-            if (opts.parkPolicy != ParkPolicy::Board)
+            _core.onPushResult(true);
+            // Under board parking, tryPut already woke the receiver's
+            // socket on the deposit's occupancy edge
+            // (Mailbox::attachParking); the timer protocol notifies
+            // globally.
+            if (_core.onPublishEdge(false) == WakeDirective::Global)
                 _runtime.notifyWork();
             return true;
         }
-        _pushPolicy.onMailboxFull();
+        _core.onPushResult(false);
         task->incPushCount();
     }
     ++_counters.pushbackGiveUps;
@@ -359,8 +266,7 @@ Worker::noteAffinity(const TaskBase *task)
     } else if (isConcretePlace(task->place()) && task->place() < 32) {
         mask = 1u << task->place();
     }
-    if (mask != 0)
-        _affinityMask = mask;
+    _core.setAffinity(mask);
 }
 
 void
@@ -370,9 +276,7 @@ Worker::executeTask(TaskBase *task)
     const Place prev_hint = _currentHint;
     _currentHint = task->place();
     ++_counters.tasksExecuted;
-    if (boardInformed()
-        && _runtime.options().victimPolicy
-               == VictimPolicy::OccupancyAffinity)
+    if (_runtime.options().sched.affinityTracking())
         noteAffinity(task);
     if (isConcretePlace(task->place()) && task->place() == _place)
         ++_counters.tasksOnHintedPlace;
@@ -422,29 +326,40 @@ Worker::mainLoop()
     _mark = nowNs();
     _bucket = TimeSplit::Idle;
 
-    int failures = 0;
+    const SchedPolicy &pol = _runtime.options().sched;
     while (!_runtime.shuttingDown()) {
         TaskBase *t = acquireLocal();
         if (t == nullptr && _runtime.rootActive())
             t = trySteal();
         if (t != nullptr) {
-            failures = 0;
+            _core.noteProgress();
             executeTask(t);
             continue;
         }
-        if (++failures >= 64) {
+        // The core tracks the fruitless streak against its (tuned) spin
+        // budget and decides when spinning should give way to parking.
+        _core.noteFruitless();
+        if (_core.takeParkRequest()) {
             _parks.fetch_add(1, std::memory_order_relaxed);
-            if (_runtime.idleWait(_place))
+            if (_runtime.idleWait(
+                    _place, static_cast<int>(_core.parkTimeoutUs())))
                 _parkWakes.fetch_add(1, std::memory_order_relaxed);
             else
                 _parkTimeouts.fetch_add(1, std::memory_order_relaxed);
             // A wake that lands on a still-dry board bought nothing:
             // the wakeup-storm metric the board policy is gated on
-            // (only meaningful when the board is being published).
-            if (boardPublishing() && _runtime.rootActive()
-                && !_runtime.board().anyWorkFor(_place))
-                _spuriousWakes.fetch_add(1, std::memory_order_relaxed);
-            failures = 0;
+            // (only meaningful when the board is being published). The
+            // same verdict feeds the core's park tuner — quiescent-
+            // runtime parks are skipped, they say nothing about in-run
+            // wake latency.
+            if (pol.boardPublishing() && _runtime.rootActive()) {
+                const bool found =
+                    _runtime.board().anyWorkFor(_place);
+                if (!found)
+                    _spuriousWakes.fetch_add(1,
+                                             std::memory_order_relaxed);
+                _core.onParkOutcome(found);
+            }
         } else {
             cpuRelax();
         }

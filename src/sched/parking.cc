@@ -4,30 +4,6 @@
 
 namespace numaws {
 
-const char *
-parkPolicyName(ParkPolicy p)
-{
-    switch (p) {
-      case ParkPolicy::Timer:
-        return "timer";
-      case ParkPolicy::Board:
-        return "board";
-    }
-    return "?";
-}
-
-const char *
-pushTargetName(PushTarget t)
-{
-    switch (t) {
-      case PushTarget::Random:
-        return "random";
-      case PushTarget::Board:
-        return "board";
-    }
-    return "?";
-}
-
 ParkingLot::ParkingLot(int sockets) : _numSockets(sockets)
 {
     NUMAWS_ASSERT(sockets >= 0);

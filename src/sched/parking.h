@@ -42,40 +42,11 @@
 #include <memory>
 #include <mutex>
 
+#include "sched/policy.h" // ParkPolicy/PushTarget (the unified knob set)
 #include "support/cache_aligned.h"
 #include "support/rng.h"
 
 namespace numaws {
-
-/** How idle workers wait for work to appear. */
-enum class ParkPolicy : uint8_t
-{
-    /** Park on one global condition variable with a short periodic
-     * timeout (the PR 0 behavior): every idle worker wakes every period
-     * to re-probe, work or not. */
-    Timer,
-    /** Park per socket; wake only the sockets whose OccupancyBoard
-     * words went 0 -> nonzero, with a longer fallback timeout as
-     * lost-wakeup insurance. */
-    Board,
-};
-
-/** How PUSHBACK picks the receiver of a parked frame. */
-enum class PushTarget : uint8_t
-{
-    /** Uniform random worker of the frame's place (the paper's
-     * protocol): full mailboxes burn attempts. */
-    Random,
-    /** Uniform random worker among those whose board mailbox bit is
-     * clear (room advertised); falls back to Random when every bit on
-     * the place is set. */
-    Board,
-};
-
-/** Stable names for bench JSON / CLI ("timer" | "board"). */
-const char *parkPolicyName(ParkPolicy p);
-/** Stable names for bench JSON / CLI ("random" | "board"). */
-const char *pushTargetName(PushTarget t);
 
 /**
  * Per-socket parking: one waiter word + condition slot per socket, each

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * The unified scheduling policy: every knob that picks a *decision*.
+ *
+ * The paper's platform is one scheduler — a work-first steal loop with
+ * PUSHBACK mailboxes and hierarchical victim search — evaluated both on
+ * real threads and in simulation. Until PR 4 this repo kept two
+ * hand-synchronized copies of that brain: every mechanism was wired once
+ * into the threaded runtime and again into the simulator, with the knob
+ * set duplicated across RuntimeOptions and SimConfig. SchedPolicy is the
+ * single copy: both engines embed one instance (RuntimeOptions::sched,
+ * SimConfig::sched) and route every decision through the shared
+ * StealCore state machine (sched/steal_core.h), so a policy exists in
+ * exactly one place and the engines cannot diverge.
+ *
+ * What stays engine-side, deliberately: *mechanics* (deques, mailboxes,
+ * threads vs events, cost charging, wake plumbing) and engine-only
+ * fidelity knobs (the simulator's cycle costs, the runtime's thread
+ * pinning). A knob belongs here iff both engines must agree on it.
+ */
+#ifndef NUMAWS_SCHED_POLICY_H
+#define NUMAWS_SCHED_POLICY_H
+
+#include <cstdint>
+
+#include "sched/push_policy.h"
+#include "topology/steal_distribution.h"
+
+namespace numaws {
+
+/** How idle workers wait for work to appear. */
+enum class ParkPolicy : uint8_t
+{
+    /** Park on one global condition variable with a short periodic
+     * timeout (the PR 0 behavior): every idle worker wakes every period
+     * to re-probe, work or not. */
+    Timer,
+    /** Park per socket; wake only the sockets whose OccupancyBoard
+     * words went 0 -> nonzero, with a longer fallback timeout as
+     * lost-wakeup insurance. The default since PR 4 (PR 3's soak:
+     * ~0.18x spurious wakeups, ~0.85x simulated time on the idle-heavy
+     * serial-burst workload, gates at 2x / 1.02x with margin). */
+    Board,
+};
+
+/** How PUSHBACK picks the receiver of a parked frame. */
+enum class PushTarget : uint8_t
+{
+    /** Uniform random worker of the frame's place (the paper's
+     * protocol): full mailboxes burn attempts. */
+    Random,
+    /** Uniform random worker among those whose board mailbox bit is
+     * clear (room advertised); falls back to Random when every bit on
+     * the place is set. The default since PR 4 (PR 3's soak: exactly
+     * 1.0 pushAttempts per deposited frame on every seed vs ~1.05-1.15
+     * for random probing). */
+    Board,
+};
+
+/** How the parking constants are set.
+ *
+ * Fixed reproduces PR 3: parkFallbackUs/parkTimerUs and the
+ * parkSpinFailures budget are used as configured. Ewma derives both
+ * from an EWMA of park outcomes observed by each worker's StealCore —
+ * a park that ends productively (work was there on wake) argues for
+ * spinning longer and sleeping shorter; a park that ends spurious or
+ * dry argues the opposite — with the neutral prior sitting exactly at
+ * the configured constants, so the two modes start identical and
+ * diverge only with evidence (the same shape as the adaptive steal
+ * escalation budget). See ParkTuner in sched/steal_core.h.
+ */
+enum class ParkTuning : uint8_t
+{
+    Fixed,
+    Ewma,
+};
+
+/** Stable name for bench JSON / CLI ("timer" | "board"). */
+inline const char *
+parkPolicyName(ParkPolicy p)
+{
+    switch (p) {
+      case ParkPolicy::Timer:
+        return "timer";
+      case ParkPolicy::Board:
+        return "board";
+    }
+    return "?";
+}
+
+/** Stable name for bench JSON / CLI ("random" | "board"). */
+inline const char *
+pushTargetName(PushTarget t)
+{
+    switch (t) {
+      case PushTarget::Random:
+        return "random";
+      case PushTarget::Board:
+        return "board";
+    }
+    return "?";
+}
+
+/** Stable name for bench JSON / CLI ("fixed" | "ewma"). */
+inline const char *
+parkTuningName(ParkTuning t)
+{
+    switch (t) {
+      case ParkTuning::Fixed:
+        return "fixed";
+      case ParkTuning::Ewma:
+        return "ewma";
+    }
+    return "?";
+}
+
+/**
+ * Scheduling-policy knobs shared verbatim by the threaded runtime and
+ * the simulator. Mirrors the paper's mechanisms one-for-one plus the
+ * adaptive extensions, each independently ablatable.
+ */
+struct SchedPolicy
+{
+    /** Locality-biased steals (uniform when false == classic WS). */
+    bool biasedSteals = true;
+    BiasWeights biasWeights{};
+    /** Lazy work pushing via mailboxes (false == classic WS). */
+    bool useMailboxes = true;
+    /**
+     * Flip a coin between deque and mailbox on each steal (Section IV
+     * requires it); false = always inspect the mailbox first (ablation).
+     */
+    bool coinFlip = true;
+    /** Constant pushing threshold (Section III-B); adaptive base. */
+    int pushThreshold = 4;
+    /** Pushing-threshold policy (constant reproduces the paper). */
+    PushPolicyConfig pushPolicy{};
+    /** Hierarchical level-by-level victim search with escalation. */
+    bool hierarchicalSteals = false;
+    /** Consecutive failed steals per level before widening the search
+     * (the fixed budget, and the adaptive escalation's base). */
+    int stealEscalationFailures = 2;
+    /** Fixed (constant budget) or Adaptive (per-level success-rate EWMA)
+     * escalation; only meaningful with hierarchicalSteals. */
+    EscalationPolicy escalationPolicy = EscalationPolicy::Fixed;
+    /**
+     * Victim-selection policy for hierarchical steals. The default is
+     * the full informed policy (it soaked through PR 2's and PR 3's
+     * BENCH_victim_policy gates); VictimPolicy::Distance — PR 1's blind
+     * ladder — is retained purely as an escape hatch for debugging a
+     * suspect board (its ablation rows were retired in PR 4 after two
+     * PRs of green CI history on the informed default). Only consulted
+     * when hierarchicalSteals is on, so the paper-faithful flat
+     * configuration is unaffected.
+     */
+    VictimPolicy victimPolicy = VictimPolicy::OccupancyAffinity;
+    /** Mailbox slots per worker (the paper's protocol is capacity 1). */
+    int mailboxCapacity = 1;
+    /** Idle-worker parking policy (see ParkPolicy). */
+    ParkPolicy parkPolicy = ParkPolicy::Board;
+    /** Timer-policy wait period, microseconds. */
+    int parkTimerUs = 200;
+    /** Board-policy fallback timeout, microseconds: the most a lost or
+     * cross-socket wakeup can cost before the worker re-probes. */
+    int parkFallbackUs = 1000;
+    /**
+     * Fruitless scheduling-loop iterations (threaded engine) or probes
+     * (simulator, when SimConfig::modelParking) a worker spins through
+     * before parking. The Ewma tuning scales this budget.
+     */
+    int parkSpinFailures = 64;
+    /** Fixed constants vs EWMA-derived parking knobs (see ParkTuning). */
+    ParkTuning parkTuning = ParkTuning::Fixed;
+    /** PUSHBACK receiver selection (see PushTarget). */
+    PushTarget pushTarget = PushTarget::Board;
+    /** Steal-half batching for remote-level (>= two-hop) steals. */
+    bool remoteStealHalf = false;
+    /** Max frames one batched remote steal may move (engines clamp to
+     * their transport cap). */
+    int stealHalfMax = 8;
+
+    /** @name Derived predicates
+     * The single source of truth for "is the board in play" — every
+     * consumer (informed steals, board parking, board-guided PUSHBACK)
+     * forces publication, and a config with no consumer never pays a
+     * single RMW. */
+    /// @{
+    /** Informed victim selection active: the steal path reads the board. */
+    bool
+    boardInformed() const
+    {
+        return hierarchicalSteals
+               && victimPolicy != VictimPolicy::Distance;
+    }
+
+    /** Idle workers park per socket and ride occupancy-edge wakes. */
+    bool boardParking() const { return parkPolicy == ParkPolicy::Board; }
+
+    /** PUSHBACK receivers sampled from advertised mailbox room. */
+    bool
+    boardPushTargeting() const
+    {
+        return pushTarget == PushTarget::Board;
+    }
+
+    /** Board publication active: the union of every board consumer.
+     * Ewma park tuning is a consumer too — its dry-park verdicts come
+     * from the board, so without publication the threaded engine's
+     * tuner would silently freeze at the neutral prior while the
+     * simulator (whose board is always exact) kept tuning, the exact
+     * cross-engine divergence this layer exists to prevent. */
+    bool
+    boardPublishing() const
+    {
+        return boardInformed() || boardParking() || boardPushTargeting()
+               || parkTuning == ParkTuning::Ewma;
+    }
+
+    /** Thief-side data-home affinity tracking feeds victim weighting. */
+    bool
+    affinityTracking() const
+    {
+        return boardInformed()
+               && victimPolicy == VictimPolicy::OccupancyAffinity;
+    }
+    /// @}
+
+    /**
+     * The paper-literal baseline: Figure 2/Figure 5 semantics with the
+     * PR 0-3 wake/receiver protocols (periodic timer parking, blind
+     * random PUSHBACK receivers). Ablation baselines and the
+     * paper-faithful SimConfig factories request these explicitly so
+     * the Board defaults above never leak into a "paper" row.
+     */
+    static SchedPolicy
+    paperBaseline()
+    {
+        SchedPolicy p;
+        p.parkPolicy = ParkPolicy::Timer;
+        p.pushTarget = PushTarget::Random;
+        return p;
+    }
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_SCHED_POLICY_H

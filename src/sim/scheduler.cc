@@ -39,12 +39,9 @@ struct CoreState
     double clock = 0.0;
     Continuation cur;
     std::deque<Continuation> deq; ///< back == tail (owner), front == head
-    /** Parked frames, oldest first; bounded by SimConfig::mailboxCapacity
-     * (the paper's single-entry mailbox is capacity 1). */
+    /** Parked frames, oldest first; bounded by the policy's
+     * mailboxCapacity (the paper's single-entry mailbox is capacity 1). */
     std::deque<Continuation> mailbox;
-    /** Sockets homing the regions of the last strand this core executed
-     * (bit s == socket s); feeds OccupancyAffinity victim weighting. */
-    uint32_t affinity = 0;
     /**
      * Extras from a batched remote steal, already promoted, drained in
      * the scheduling loop before the next steal attempt. Private to this
@@ -55,23 +52,16 @@ struct CoreState
     std::deque<Continuation> overflow;
     NextAction next = NextAction::Steal;
     FrameId checkParent = kNoFrame;
-    Rng rng{0};
-    StealEscalation esc;
-    PushPolicy push;
-    /** Consecutive all-dry board polls; every 4th falls through to a
-     * real outermost probe (insurance against a false-empty board). */
-    int dryStreak = 0;
+    /** The scheduling brain: RNG, escalation, push policy, affinity,
+     * dry-poll cadence, park streaks — shared code with the threaded
+     * runtime (sched/steal_core.h). */
+    StealCore brain;
 
-    /** @name Parking model (SimConfig::parkAfterFailures > 0 only) */
+    /** @name Parking model (SimConfig::modelParking only) */
     /// @{
     bool parked = false;
-    /** A fruitless probe crossed the failure threshold: run() parks
-     * this core after charging the step. */
-    bool parkRequested = false;
     /** The pending wake is a targeted socket-edge wake, not a timeout. */
     bool boardWakePending = false;
-    /** Consecutive fruitless probes (failed steals + dry polls). */
-    int parkFails = 0;
     double parkStart = 0.0;
     /** Time of this core's currently scheduled event — a targeted wake
      * reschedules only if it lands earlier. */
@@ -111,9 +101,10 @@ class Simulation
           _machine(machine),
           _cfg(config),
           _numCores(cores),
+          _usToCycles(machine.ghz() * 1000.0),
           _dist(machine, cores,
-                config.biasedSteals ? config.biasWeights
-                                    : BiasWeights::uniform()),
+                config.sched.biasedSteals ? config.sched.biasWeights
+                                          : BiasWeights::uniform()),
           _board(cores, _dist.workerSockets()),
           _memory(machine, dag, latency),
           _frames(dag.numFrames()),
@@ -122,19 +113,18 @@ class Simulation
         NUMAWS_ASSERT(cores >= 1);
         // Clamp exactly like the threaded Mailbox does, so a cross-engine
         // run with an out-of-range capacity compares like with like.
-        if (_cfg.mailboxCapacity < 1)
-            _cfg.mailboxCapacity = 1;
-        if (_cfg.mailboxCapacity > kMaxMailboxCapacity)
-            _cfg.mailboxCapacity = kMaxMailboxCapacity;
-        EscalationConfig esc_cfg;
-        esc_cfg.kind = config.escalationPolicy;
-        esc_cfg.failuresPerLevel = config.stealEscalationFailures;
-        uint64_t seed_state = config.seed;
+        if (_cfg.sched.mailboxCapacity < 1)
+            _cfg.sched.mailboxCapacity = 1;
+        if (_cfg.sched.mailboxCapacity > kMaxMailboxCapacity)
+            _cfg.sched.mailboxCapacity = kMaxMailboxCapacity;
+        // One StealCore per simulated core — the same brain the threaded
+        // runtime drives, fed the sim's seeded RNG chain so runs stay
+        // byte-reproducible per seed.
+        const EngineView view{&_dist, &_board};
+        uint64_t seed_state = _cfg.seed;
         for (int c = 0; c < cores; ++c) {
-            _cores[c].rng = Rng(splitmix64(seed_state));
-            _cores[c].esc = StealEscalation(esc_cfg);
-            _cores[c].push =
-                PushPolicy(config.pushThreshold, config.pushPolicy);
+            _cores[c].brain = StealCore(_cfg.sched, view, c, socketOf(c),
+                                        splitmix64(seed_state));
         }
         // The root computation starts on core 0 (first core of the first
         // socket, as the runtime pins it).
@@ -161,7 +151,7 @@ class Simulation
     bool
     placeMismatch(int core, Place place) const
     {
-        if (!_cfg.useMailboxes || !isConcretePlace(place))
+        if (!_cfg.sched.useMailboxes || !isConcretePlace(place))
             return false;
         if (place >= _machine.numSockets())
             return false; // hint beyond this machine: ignore
@@ -183,45 +173,30 @@ class Simulation
         const Place target = _dag.frame(cont.frame).place;
         const auto [first, last] = coresOfSocket(target);
         NUMAWS_ASSERT(first < last);
-        PushPolicy &policy = _cores[core].push;
-        // Pressure signal: a core with a deep own deque can afford more
-        // placement attempts before running the frame itself.
-        policy.observeDequeDepth(
+        // The core picks receivers (board-guided or blind per policy)
+        // and runs the threshold state machine; this driver executes
+        // the deposits and charges their costs. A receiver that is the
+        // pusher itself or has no room burns the attempt, exactly like
+        // the threaded engine's rejected tryPut.
+        StealCore &brain = _cores[core].brain;
+        brain.beginPushback(
             static_cast<int64_t>(_cores[core].deq.size()));
         bool pushed = false;
         while (fs.pushCount
-               < static_cast<uint32_t>(policy.threshold())) {
+               < static_cast<uint32_t>(brain.pushThreshold())) {
             ++_counters.pushAttempts;
             cost += _cfg.pushAttemptCost;
-            // Board-guided receiver: sample the complement of the
-            // socket's mailbox bits (empty mailboxes, which always have
-            // room) instead of probing blind. When every mailbox on the
-            // place already holds a frame, fall back to the random
-            // probe — it still reaches the partially filled slots a
-            // capacity > 1 mailbox may have, and it burns attempts
-            // exactly like PushTarget::Random, pricing both knobs with
-            // the same pushAttemptCost.
-            int receiver = -1;
-            if (_cfg.pushTarget == PushTarget::Board) {
-                receiver = pickClearMailbox(
-                    first, last, /*self=*/core,
-                    _board.mailboxBits(target),
-                    [this](int w) { return _board.workerMask(w); },
-                    _cores[core].rng);
-            }
-            if (receiver < 0)
-                receiver =
-                    first
-                    + static_cast<int>(_cores[core].rng.nextBounded(
-                        static_cast<uint64_t>(last - first)));
+            const int receiver =
+                brain.pickPushReceiver(first, last, /*self=*/core,
+                                       target);
             if (receiver != core && mailboxHasRoom(receiver)) {
                 mailboxDeposit(receiver, cont, core);
                 ++_counters.pushSuccesses;
-                policy.onPushSuccess();
+                brain.onPushResult(true);
                 pushed = true;
                 break;
             }
-            policy.onMailboxFull();
+            brain.onPushResult(false);
             ++fs.pushCount;
         }
         if (!pushed)
@@ -237,20 +212,22 @@ class Simulation
     std::pair<double, Charge> stepSchedulingLoop(int core);
     std::pair<double, Charge> stepStealAttempt(int core);
 
-    /** @name Parking model (active when SimConfig::parkAfterFailures > 0)
+    /** @name Parking model (active when SimConfig::modelParking)
      * Mirrors Runtime::idleWait/ParkingLot: a core parks after a run of
-     * fruitless probes and wakes on a timer (ParkPolicy::Timer), on a
-     * targeted socket-occupancy edge plus a fallback timeout
-     * (ParkPolicy::Board), paying boardCheckCost per wakeup check. */
+     * fruitless probes (the StealCore's spin budget) and wakes on a
+     * timer or on a targeted socket-occupancy edge plus a fallback
+     * timeout per the policy, paying boardCheckCost per wakeup check.
+     * Streak tracking, budgets, and timeouts come from the per-core
+     * StealCore (possibly EWMA-tuned); this block owns only the event
+     * mechanics. */
     /// @{
-    bool parkingModeled() const { return _cfg.parkAfterFailures > 0; }
+    bool parkingModeled() const { return _cfg.modelParking; }
 
+    /** The (tuned) park timeout for @p core, in machine cycles. */
     double
-    parkTimeout() const
+    parkTimeoutCycles(int core) const
     {
-        return _cfg.parkPolicy == ParkPolicy::Board
-                   ? _cfg.parkFallbackCycles
-                   : _cfg.parkPeriodCycles;
+        return _cores[core].brain.parkTimeoutUs() * _usToCycles;
     }
 
     /** (Re)schedule @p core's next event at @p t, superseding whatever
@@ -264,18 +241,14 @@ class Simulation
         _heap.push(Event{t, _seq++, core, c.eventToken});
     }
 
-    /** A fruitless probe (failed steal or dry poll): maybe request a
-     * park once the failure streak crosses the threshold. */
+    /** A fruitless probe (failed steal or dry poll): the core's park
+     * streak may cross its spin budget and request a park. */
     void
     noteProbeFailure(int core)
     {
         if (!parkingModeled() || _numCores <= 1)
             return;
-        CoreState &c = _cores[core];
-        if (++c.parkFails >= _cfg.parkAfterFailures) {
-            c.parkFails = 0;
-            c.parkRequested = true;
-        }
+        _cores[core].brain.noteFruitless();
     }
 
     /** A socket occupancy word went 0 -> nonzero: under board parking,
@@ -284,7 +257,7 @@ class Simulation
     void
     maybeWakeSocket(int socket, int actor)
     {
-        if (!parkingModeled() || _cfg.parkPolicy != ParkPolicy::Board)
+        if (!parkingModeled() || !_cfg.sched.boardParking())
             return;
         const double at =
             _cores[actor].clock + _cfg.wakeLatencyCycles;
@@ -311,14 +284,16 @@ class Simulation
         // The sleep itself and the wake-time board check are idle time.
         c.idleCycles += (now - c.parkStart) + _cfg.boardCheckCost;
         c.clock = now + _cfg.boardCheckCost;
-        if (_board.anyWorkFor(socketOf(core))) {
+        const bool found = _board.anyWorkFor(socketOf(core));
+        c.brain.onParkOutcome(found);
+        if (found) {
             c.parked = false;
-            c.parkFails = 0;
+            c.brain.noteProgress();
             schedule(core, c.clock);
         } else {
             ++_counters.spuriousWakeups;
             c.parkStart = c.clock;
-            schedule(core, c.clock + parkTimeout());
+            schedule(core, c.clock + parkTimeoutCycles(core));
         }
     }
     /// @}
@@ -361,7 +336,7 @@ class Simulation
     mailboxHasRoom(int core) const
     {
         return static_cast<int>(_cores[core].mailbox.size())
-               < _cfg.mailboxCapacity;
+               < _cfg.sched.mailboxCapacity;
     }
 
     void
@@ -387,6 +362,9 @@ class Simulation
     const Machine &_machine;
     SimConfig _cfg;
     int _numCores;
+    /** Cycles per microsecond: converts the policy's µs park knobs to
+     * this machine's clock (200us @ 2.2 GHz == the old 440k cycles). */
+    double _usToCycles;
     StealDistribution _dist;
     OccupancyBoard _board;
     SimMemory _memory;
@@ -454,7 +432,7 @@ Simulation::stepExecute(int core)
         ++_counters.strandsExecuted;
         const double mem = _memory.cost(socketOf(core), item.accessBegin,
                                         item.accessEnd, _mem_counters);
-        if (_cfg.victimPolicy == VictimPolicy::OccupancyAffinity
+        if (_cfg.sched.affinityTracking()
             && item.accessBegin != item.accessEnd) {
             // Remember where this strand's data lives: the thief-side
             // affinity signal for OccupancyAffinity victim weighting.
@@ -468,7 +446,7 @@ Simulation::stepExecute(int core)
                 if (home < 32) // affinity masks cover 32 sockets
                     mask |= 1u << home;
             }
-            c.affinity = mask;
+            c.brain.setAffinity(mask);
         }
         ++c.cur.item;
         return {item.cycles + mem, Charge::Work};
@@ -528,78 +506,32 @@ Simulation::stepStealAttempt(int core)
     if (_numCores <= 1)
         return {_cfg.stealAttemptBase, Charge::Idle};
 
-    const bool informed = _cfg.hierarchicalSteals
-                          && _cfg.victimPolicy != VictimPolicy::Distance;
-    // The probe the board exists to save: when no deque or mailbox
-    // anywhere advertises work, polling the board replaces the victim
-    // probe outright. Every 4th consecutive dry poll still probes (at
-    // the outermost level, which firstLiveLevel yields on an all-dry
-    // board), so a board that falsely reads empty delays work pickup by
-    // a bounded factor instead of starving anyone.
-    bool board_dry = false;
-    if (informed) {
-        if (!_board.anyWorkFor(socketOf(core))) {
-            c.dryStreak = (c.dryStreak + 1) & 3; // wrap: no overflow
-            if (c.dryStreak != 0) {
-                ++_counters.boardDryPolls;
-                noteProbeFailure(core);
-                return {_cfg.boardCheckCost, Charge::Idle};
-            }
-            board_dry = true;
-        } else {
-            c.dryStreak = 0;
-        }
+    // Every decision — dry-poll cadence, victim, the coin flip and its
+    // informed override, batching eligibility — comes from the shared
+    // StealCore; this driver executes the action under the cost model.
+    const StealAction action = c.brain.nextAction();
+    if (action.kind == StealAction::Kind::DryPoll) {
+        // The probe the board exists to save: polling the board replaced
+        // the victim probe outright (the core still forces an insurance
+        // probe every 4th consecutive dry poll, so a false-empty board
+        // delays work pickup by a bounded factor instead of starving
+        // anyone).
+        noteProbeFailure(core);
+        return {_cfg.boardCheckCost, Charge::Idle};
     }
-    ++_counters.stealAttempts;
-    int victim;
-    int probed_level = -1; // level the probe sampled at (EWMA credit)
-    if (_cfg.hierarchicalSteals) {
-        int level = c.esc.level();
-        if (informed) {
-            // Board consult: jump past provably-dry levels without
-            // burning the failures-per-level budget on them (the skip
-            // and the weighted pick share one board snapshot). An
-            // all-dry insurance probe widens to the outermost level
-            // too, but that is not a board-informed skip — don't count
-            // it as one.
-            const int ladder_level = level;
-            victim = _dist.sampleVictimInformed(core, &level,
-                                                _cfg.victimPolicy, _board,
-                                                c.affinity, c.rng);
-            if (level != ladder_level && !board_dry)
-                ++_counters.levelSkips;
-        } else {
-            victim = _dist.sampleAtLevel(core, level, c.rng);
-        }
-        probed_level = level;
-    } else {
-        victim = _dist.sample(core, c.rng);
-    }
+    const int victim = action.victim;
     const int hops = _machine.hops(socketOf(core), socketOf(victim));
     double cost = _cfg.stealAttemptBase + _cfg.stealPerHop * hops;
     // An informed probe consulted the board (snapshot + bit reads) to
     // pick its level and victim: price that consult on every informed
     // attempt, not only on the dry-poll early return, so the policy
     // ablation compares like with like.
-    if (informed)
+    if (action.informedConsult)
         cost += _cfg.boardCheckCost;
 
     Continuation got;
 
-    // BIASEDSTEALWITHPUSH: coin flip between deque and mailbox. The
-    // informed override is one-sided, mirroring the runtime: a set
-    // mailbox bit (never invented) may force the inspection toward the
-    // parked frame, but an unset bit must not suppress it — in the
-    // threaded runtime a false-empty bit would otherwise strand a
-    // parked frame for as long as the victim's deque stays nonempty,
-    // with the coin as the only repair. (The sim's board is exact, but
-    // the engines must price the same protocol.)
-    bool check_mailbox = _cfg.useMailboxes && (!_cfg.coinFlip || c.rng.flip());
-    if (informed && _cfg.useMailboxes
-        && _board.mailboxOccupied(victim)
-        && !_board.dequeNonempty(victim))
-        check_mailbox = true;
-    if (check_mailbox) {
+    if (action.checkMailboxFirst) {
         cost += _cfg.mailboxCheckCost;
         if (!_cores[victim].mailbox.empty()) {
             const Continuation cont = mailboxTake(victim);
@@ -612,8 +544,7 @@ Simulation::stepStealAttempt(int core)
                 // threshold is exhausted we take it ourselves.
                 if (pushBack(core, cont, cost)) {
                     // Work was found (and forwarded): not a failed probe.
-                    if (_cfg.hierarchicalSteals)
-                        c.esc.onSuccessfulSteal(probed_level);
+                    c.brain.onStealResult(action, true);
                     return {cost, Charge::Sched};
                 }
                 got = cont;
@@ -637,14 +568,13 @@ Simulation::stepStealAttempt(int core)
             // up to half the victim's deque; extras are promoted now and
             // parked in the private overflow buffer at a reduced
             // per-frame cost (the amortization this knob buys).
-            if (_cfg.remoteStealHalf
-                && _dist.levelOf(core, victim) == kLevelRemote) {
+            if (action.remoteBatch) {
                 // Total batch = ceil(half) of the original deque size,
                 // mirroring WsDeque::stealHalf: one frame was already
                 // popped above, so take size/2 of what remains.
                 int extras = static_cast<int>(v.deq.size() / 2);
-                if (extras > _cfg.stealHalfMax - 1)
-                    extras = _cfg.stealHalfMax - 1;
+                if (extras > action.batchMax - 1)
+                    extras = action.batchMax - 1;
                 for (int i = 0; i < extras; ++i) {
                     Continuation extra = dequePopFront(victim);
                     FrameState &es = _frames[extra.frame];
@@ -662,8 +592,7 @@ Simulation::stepStealAttempt(int core)
             // socket is pushed toward its place.
             if (placeMismatch(core, _dag.frame(got.frame).place)) {
                 if (pushBack(core, got, cost)) {
-                    if (_cfg.hierarchicalSteals)
-                        c.esc.onSuccessfulSteal(probed_level);
+                    c.brain.onStealResult(action, true);
                     return {cost, Charge::Sched};
                 }
             }
@@ -672,14 +601,11 @@ Simulation::stepStealAttempt(int core)
         ++_counters.mailboxSteals;
     }
 
+    c.brain.onStealResult(action, got.valid());
     if (got.valid()) {
-        if (_cfg.hierarchicalSteals)
-            c.esc.onSuccessfulSteal(probed_level);
         c.cur = got;
         return {cost, Charge::Sched};
     }
-    if (_cfg.hierarchicalSteals)
-        c.esc.onFailedSteal(probed_level);
     noteProbeFailure(core);
     return {cost, Charge::Idle};
 }
@@ -776,16 +702,15 @@ Simulation::run()
         }
         c.clock += cost;
         // Any step that worked or scheduled breaks the fruitless-probe
-        // streak the parking threshold counts.
+        // streak the parking budget counts.
         if (charge != Charge::Idle)
-            c.parkFails = 0;
-        if (c.parkRequested) {
-            c.parkRequested = false;
+            c.brain.noteProgress();
+        if (c.brain.takeParkRequest()) {
             // Mirror Runtime::idleWait's registered-then-check: the
             // board-policy park predicate sees published work and
             // returns without sleeping (the timer path has no such
             // predicate — it sleeps regardless, as the runtime does).
-            if (_cfg.parkPolicy == ParkPolicy::Board
+            if (_cfg.sched.boardParking()
                 && _board.anyWorkFor(socketOf(ev.core))) {
                 schedule(ev.core, c.clock);
             } else {
@@ -793,7 +718,7 @@ Simulation::run()
                 c.boardWakePending = false;
                 c.parkStart = c.clock;
                 ++_counters.parks;
-                schedule(ev.core, c.clock + parkTimeout());
+                schedule(ev.core, c.clock + parkTimeoutCycles(ev.core));
             }
         } else {
             schedule(ev.core, c.clock);
@@ -813,6 +738,12 @@ Simulation::run()
         r.workSeconds += _machine.cyclesToSeconds(cs.workCycles);
         r.schedSeconds += _machine.cyclesToSeconds(cs.schedCycles);
         r.idleSeconds += _machine.cyclesToSeconds(cs.idleCycles + fill);
+        // Decision counters live on the shared core; translate them
+        // into the sim's vocabulary.
+        const StealCoreCounters &cc = cs.brain.counters();
+        _counters.stealAttempts += cc.stealAttempts;
+        _counters.boardDryPolls += cc.dryPolls;
+        _counters.levelSkips += cc.levelSkips;
     }
     r.counters = _counters;
     r.memory = _mem_counters;

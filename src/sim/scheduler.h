@@ -17,23 +17,15 @@
  * protocol more faithfully than any library runtime can; every evaluation
  * figure is produced here.
  *
- * The adaptive extensions mirror the threaded runtime's knobs one-for-one
- * so ablations compare like with like:
- *  - hierarchicalSteals + stealEscalationFailures: level-by-level victim
- *    search (core -> place -> socket -> remote) with per-level escalation
- *    after consecutive failed attempts (StealEscalation); at the
- *    outermost level every victim is reachable, so a starving core always
- *    steals against the place hint rather than idling.
- *  - pushPolicy (PushPolicyKind::Constant | ::Adaptive): the pushing
- *    threshold becomes pluggable; the adaptive rule widens under
- *    own-deque pressure and tightens when target mailboxes reject
- *    deposits. pushThreshold remains the constant value / adaptive base.
- *  - remoteStealHalf + stealHalfMax + batchExtraCost: a steal landing on
- *    a remote-level victim moves up to half its deque in one event; the
- *    first continuation is resumed immediately and the extras park in the
- *    thief's private overflow buffer, drained in its scheduling loop
- *    before the next steal (each extra costs batchExtraCost instead of a
- *    full promotion+probe round trip — that is the amortization).
+ * Since PR 4 every scheduling *decision* — victim selection, the
+ * mailbox-vs-deque coin flip, PUSHBACK receivers and thresholds,
+ * escalation, dry-poll cadence, parking streaks and tuning — lives in
+ * the engine-agnostic StealCore (sched/steal_core.h), configured by the
+ * SchedPolicy nested in SimConfig (sched/policy.h, where the full knob
+ * table is documented). The simulator is a thin driver that executes
+ * the core's actions under its event clock and cost model; determinism
+ * survives because each simulated core feeds its seeded RNG and virtual
+ * clock through the same core the threaded runtime drives.
  */
 #ifndef NUMAWS_SIM_SCHEDULER_H
 #define NUMAWS_SIM_SCHEDULER_H
@@ -43,8 +35,8 @@
 #include <optional>
 #include <vector>
 
-#include "sched/parking.h"
-#include "sched/push_policy.h"
+#include "sched/policy.h"
+#include "sched/steal_core.h"
 #include "sim/dag.h"
 #include "sim/memory.h"
 #include "sim/metrics.h"
@@ -54,72 +46,32 @@
 
 namespace numaws::sim {
 
-/** Scheduler policy + cost knobs for one simulated run. */
+/**
+ * One simulated run's configuration: the unified scheduling policy
+ * plus the simulator-only fidelity knobs (event costs, the parking
+ * model switch, serial elision).
+ */
 struct SimConfig
 {
-    /** Locality-biased victim selection (false == uniform, classic WS). */
-    bool biasedSteals = true;
-    BiasWeights biasWeights{};
-    /** Mailboxes + lazy work pushing (false == classic WS). */
-    bool useMailboxes = true;
+    /** The unified scheduling policy (sched/policy.h), shared verbatim
+     * with RuntimeOptions::sched so ablations compare like with like.
+     * The simulated OccupancyBoard is exact (every deque/mailbox
+     * transition is published at its mutation site), so the informed
+     * policies see ground truth here. */
+    SchedPolicy sched{};
     /**
-     * Flip a coin between deque and mailbox on each steal (Section IV
-     * requires it); false = always inspect the mailbox first (ablation).
-     */
-    bool coinFlip = true;
-    /** Constant pushing threshold; also the adaptive policy's base. */
-    int pushThreshold = 4;
-    /** Pushing-threshold policy (constant reproduces the paper). */
-    PushPolicyConfig pushPolicy{};
-    /** Hierarchical level-by-level victim search with escalation. */
-    bool hierarchicalSteals = false;
-    /** Consecutive failed steals per level before widening the search
-     * (fixed budget / adaptive base). */
-    int stealEscalationFailures = 2;
-    /** Fixed (constant budget) or Adaptive (per-level success-rate EWMA)
-     * escalation; only meaningful with hierarchicalSteals. */
-    EscalationPolicy escalationPolicy = EscalationPolicy::Fixed;
-    /**
-     * Victim selection for hierarchical steals: Distance is the blind
-     * PR 1 ladder; Occupancy consults the simulated OccupancyBoard
-     * (exact here: the sim publishes every deque/mailbox transition) to
-     * skip dry levels and weight occupied victims; OccupancyAffinity
-     * additionally boosts sockets homing the regions of the strand this
-     * core last executed.
-     */
-    VictimPolicy victimPolicy = VictimPolicy::Distance;
-    /** Mailbox slots per core (the paper's protocol is capacity 1). */
-    int mailboxCapacity = 1;
-    /**
-     * Idle-core parking model (mirrors Runtime::idleWait). 0 disables
-     * the model entirely — cores spin through failed probes as before,
+     * Model idle-core parking (mirrors Runtime's spin-then-park loop).
+     * Off by default — cores spin through failed probes as before,
      * keeping every pre-existing configuration's event sequence
-     * byte-identical. When > 0, a core parks after this many
-     * consecutive fruitless probes (failed steals and dry board polls)
-     * and wakes per parkPolicy, paying boardCheckCost per wakeup check.
+     * byte-identical. When on, a core parks after
+     * sched.parkSpinFailures consecutive fruitless probes (failed
+     * steals and dry board polls) and wakes per sched.parkPolicy —
+     * timer period or board edge + fallback, sched.parkTimerUs /
+     * sched.parkFallbackUs converted to cycles at the machine's clock —
+     * paying boardCheckCost per wakeup check.
      */
-    int parkAfterFailures = 0;
-    /**
-     * Timer parking wakes every parkPeriodCycles regardless of work
-     * (the threaded runtime's 200us at the paper machine's 2.2 GHz);
-     * Board parking wakes a parked socket when its occupancy words go
-     * 0 -> nonzero, wakeLatencyCycles after the publish, with
-     * parkFallbackCycles as the lost-wakeup / cross-socket insurance.
-     */
-    ParkPolicy parkPolicy = ParkPolicy::Timer;
-    double parkPeriodCycles = 440000.0;    ///< 200us at 2.2 GHz
-    double parkFallbackCycles = 2200000.0; ///< 1ms at 2.2 GHz
-    double wakeLatencyCycles = 4400.0;     ///< ~2us: futex wake + sched-in
-    /** PUSHBACK receiver selection (mirrors RuntimeOptions::pushTarget):
-     * Random probes blind; Board samples the complement of the board's
-     * mailbox bits, falling back to Random when no receiver has room. */
-    PushTarget pushTarget = PushTarget::Random;
-    /** Steal-half batching for remote-level (>= two-hop) steals. */
-    bool remoteStealHalf = false;
-    /** Max continuations one batched remote steal may move (matches
-     * RuntimeOptions::stealHalfMax so ablations compare like with
-     * like). */
-    int stealHalfMax = 8;
+    bool modelParking = false;
+    double wakeLatencyCycles = 4400.0; ///< ~2us: futex wake + sched-in
 
     /** @name Event costs in cycles */
     /// @{
@@ -148,40 +100,46 @@ struct SimConfig
 
     uint64_t seed = 0x5eed;
 
-    /** Classic work stealing as implemented by Cilk Plus (Figure 2). */
+    /** Classic work stealing as implemented by Cilk Plus (Figure 2).
+     * Paper-literal baseline: requests the pre-board wake/receiver
+     * protocols explicitly (SchedPolicy::paperBaseline), so the PR 4
+     * Board defaults never leak into a "paper" row. */
     static SimConfig
     classicWs()
     {
         SimConfig c;
-        c.biasedSteals = false;
-        c.useMailboxes = false;
+        c.sched = SchedPolicy::paperBaseline();
+        c.sched.biasedSteals = false;
+        c.sched.useMailboxes = false;
         return c;
     }
 
-    /** The full NUMA-WS scheduler (Figure 5). */
+    /** The full NUMA-WS scheduler (Figure 5), paper-literal (timer
+     * parking, blind random PUSHBACK receivers — see classicWs). */
     static SimConfig
     numaWs()
     {
-        return SimConfig{};
+        SimConfig c;
+        c.sched = SchedPolicy::paperBaseline();
+        return c;
     }
 
     /**
      * NUMA-WS plus every adaptive extension: hierarchical victim search
      * with escalation, the congestion-adaptive pushing threshold, and
-     * remote steal-half batching. Since PR 3 the victim policy defaults
-     * to OccupancyAffinity — the informed ladder soaked through PR 2's
-     * BENCH_victim_policy gates (heat ~0.98x flat, matmul probes
-     * ~0.73x flat) before being promoted; pass VictimPolicy::Distance
-     * explicitly to get the blind PR 1 ladder.
+     * remote steal-half batching, on the shipped SchedPolicy defaults —
+     * the OccupancyAffinity informed ladder (PR 3) and, since PR 4, the
+     * Board parking/PUSHBACK protocols. Pass VictimPolicy::Distance /
+     * ParkPolicy::Timer / PushTarget::Random explicitly for the retired
+     * blind baselines.
      */
     static SimConfig
     adaptiveNumaWs()
     {
         SimConfig c;
-        c.hierarchicalSteals = true;
-        c.pushPolicy.kind = PushPolicyKind::Adaptive;
-        c.remoteStealHalf = true;
-        c.victimPolicy = VictimPolicy::OccupancyAffinity;
+        c.sched.hierarchicalSteals = true;
+        c.sched.pushPolicy.kind = PushPolicyKind::Adaptive;
+        c.sched.remoteStealHalf = true;
         return c;
     }
 

@@ -23,15 +23,60 @@ Cli::Cli(int argc, const char *const *argv)
     }
 }
 
+Cli::~Cli()
+{
+    checkUnknownKeys();
+}
+
+void
+Cli::declareKey(const std::string &key) const
+{
+    _queried.insert(key);
+}
+
+std::vector<std::string>
+Cli::unknownKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, value] : _values) {
+        (void)value;
+        if (_queried.count(key) == 0)
+            out.push_back(key);
+    }
+    return out;
+}
+
+void
+Cli::checkUnknownKeys() const
+{
+    if (_checked)
+        return;
+    _checked = true;
+    const std::vector<std::string> unknown = unknownKeys();
+    if (unknown.empty())
+        return;
+    std::string joined;
+    for (const std::string &k : unknown) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += "--" + k;
+    }
+    NUMAWS_FATAL("%s: unknown key(s) %s (no accessor ever asked for "
+                 "them; a typo'd flag must not run the wrong experiment)",
+                 _program.c_str(), joined.c_str());
+}
+
 bool
 Cli::has(const std::string &key) const
 {
+    _queried.insert(key);
     return _values.count(key) != 0;
 }
 
 std::string
 Cli::getString(const std::string &key, const std::string &def) const
 {
+    _queried.insert(key);
     const auto it = _values.find(key);
     return it == _values.end() ? def : it->second;
 }
@@ -39,6 +84,7 @@ Cli::getString(const std::string &key, const std::string &def) const
 int64_t
 Cli::getInt(const std::string &key, int64_t def) const
 {
+    _queried.insert(key);
     const auto it = _values.find(key);
     if (it == _values.end())
         return def;
@@ -53,6 +99,7 @@ Cli::getInt(const std::string &key, int64_t def) const
 double
 Cli::getDouble(const std::string &key, double def) const
 {
+    _queried.insert(key);
     const auto it = _values.find(key);
     if (it == _values.end())
         return def;
@@ -67,6 +114,7 @@ Cli::getDouble(const std::string &key, double def) const
 bool
 Cli::getBool(const std::string &key, bool def) const
 {
+    _queried.insert(key);
     const auto it = _values.find(key);
     if (it == _values.end())
         return def;
@@ -81,6 +129,7 @@ Cli::getBool(const std::string &key, bool def) const
 std::vector<int64_t>
 Cli::getIntList(const std::string &key, std::vector<int64_t> def) const
 {
+    _queried.insert(key);
     const auto it = _values.find(key);
     if (it == _values.end())
         return def;

@@ -4,13 +4,18 @@
  *
  * Accepts "--key=value" and "--flag" arguments; anything unrecognized is a
  * fatal user error so that typos in sweep scripts do not silently run the
- * wrong experiment.
+ * wrong experiment. Recognition is by *query*: every accessor registers
+ * its key, and at destruction (i.e. end of main) any argv key that no
+ * accessor ever asked about is fatal — so a dead `--flag` in a CI
+ * invocation fails loudly instead of going green. Binaries with
+ * conditionally-queried keys can pre-register them via declareKey().
  */
 #ifndef NUMAWS_SUPPORT_CLI_H
 #define NUMAWS_SUPPORT_CLI_H
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,6 +26,12 @@ class Cli
 {
   public:
     Cli(int argc, const char *const *argv);
+
+    /** Fatals on unknown keys unless checkUnknownKeys() already ran. */
+    ~Cli();
+
+    Cli(const Cli &) = delete;
+    Cli &operator=(const Cli &) = delete;
 
     bool has(const std::string &key) const;
     std::string getString(const std::string &key,
@@ -35,11 +46,31 @@ class Cli
     std::vector<int64_t> getIntList(const std::string &key,
                                     std::vector<int64_t> def) const;
 
+    /** Register @p key as valid without reading it (for keys only
+     * queried on some paths). */
+    void declareKey(const std::string &key) const;
+
+    /** Keys present on the command line that no accessor has queried
+     * (test hook; the destructor's fatal reports exactly these). */
+    std::vector<std::string> unknownKeys() const;
+
+    /**
+     * Fatal if any argv key was never queried/declared. Runs from the
+     * destructor automatically; call it explicitly to fail before the
+     * binary does real work (all current binaries query every key up
+     * front, so the destructor-time check is equivalent for them).
+     */
+    void checkUnknownKeys() const;
+
     const std::string &programName() const { return _program; }
 
   private:
     std::string _program;
     std::map<std::string, std::string> _values;
+    /** Keys some accessor asked about: the "registered" set. Mutable
+     * because reading a value is logically const. */
+    mutable std::set<std::string> _queried;
+    mutable bool _checked = false;
 };
 
 } // namespace numaws

@@ -238,9 +238,9 @@ TEST(AdaptiveRuntime, HintedWorkCompletesUnderAdaptiveKnobs)
     RuntimeOptions o;
     o.numWorkers = 4;
     o.numPlaces = 2;
-    o.hierarchicalSteals = true;
-    o.remoteStealHalf = true;
-    o.pushPolicy.kind = PushPolicyKind::Adaptive;
+    o.sched.hierarchicalSteals = true;
+    o.sched.remoteStealHalf = true;
+    o.sched.pushPolicy.kind = PushPolicyKind::Adaptive;
     o.seed = 7;
     Runtime rt(o);
 
@@ -277,9 +277,9 @@ TEST(AdaptiveRuntime, FibMatchesSerialUnderAllKnobCombinations)
             RuntimeOptions o;
             o.numWorkers = 3;
             o.numPlaces = 3;
-            o.hierarchicalSteals = hierarchical;
-            o.remoteStealHalf = hierarchical;
-            o.pushPolicy.kind = adaptive ? PushPolicyKind::Adaptive
+            o.sched.hierarchicalSteals = hierarchical;
+            o.sched.remoteStealHalf = hierarchical;
+            o.sched.pushPolicy.kind = adaptive ? PushPolicyKind::Adaptive
                                          : PushPolicyKind::Constant;
             Runtime rt(o);
             EXPECT_EQ(workloads::fibParallel(rt, n, 10), expected)
@@ -299,7 +299,7 @@ TEST(AdaptiveSim, InformedPoliciesMatchWorkOfDistance)
          {VictimPolicy::Distance, VictimPolicy::Occupancy,
           VictimPolicy::OccupancyAffinity}) {
         sim::SimConfig cfg = sim::SimConfig::adaptiveNumaWs();
-        cfg.victimPolicy = policy;
+        cfg.sched.victimPolicy = policy;
         const sim::SimResult r = sim::simulatePacked(dag, 16, cfg);
         if (first) {
             base = r;
@@ -319,13 +319,13 @@ TEST(AdaptiveSim, InformedPolicySkipsProbesOnHintedWork)
     // actually skip levels and replace probes with dry polls.
     const sim::ComputationDag dag = placeZeroHeavyDag(16, 8, 5000.0);
     sim::SimConfig cfg = sim::SimConfig::adaptiveNumaWs();
-    cfg.victimPolicy = VictimPolicy::Occupancy;
+    cfg.sched.victimPolicy = VictimPolicy::Occupancy;
     const sim::SimResult r = sim::simulatePacked(dag, 16, cfg);
 
     // adaptiveNumaWs() defaults to OccupancyAffinity since PR 3: the
     // blind baseline must ask for the Distance ladder explicitly.
     sim::SimConfig blind = sim::SimConfig::adaptiveNumaWs();
-    blind.victimPolicy = VictimPolicy::Distance;
+    blind.sched.victimPolicy = VictimPolicy::Distance;
     const sim::SimResult rb = sim::simulatePacked(dag, 16, blind);
 
     EXPECT_GT(r.counters.levelSkips + r.counters.boardDryPolls, 0u);
@@ -345,10 +345,10 @@ TEST(AdaptiveRuntime, VictimPoliciesComputeCorrectResults)
         RuntimeOptions o;
         o.numWorkers = 4;
         o.numPlaces = 2;
-        o.hierarchicalSteals = true;
-        o.victimPolicy = policy;
-        o.escalationPolicy = EscalationPolicy::Adaptive;
-        o.mailboxCapacity = 2;
+        o.sched.hierarchicalSteals = true;
+        o.sched.victimPolicy = policy;
+        o.sched.escalationPolicy = EscalationPolicy::Adaptive;
+        o.sched.mailboxCapacity = 2;
         Runtime rt(o);
         EXPECT_EQ(workloads::fibParallel(rt, n, 10), expected)
             << victimPolicyName(policy);
@@ -366,8 +366,8 @@ TEST(AdaptiveRuntime, AffinityResolvesDataHomesThroughThePageMap)
     RuntimeOptions o;
     o.numWorkers = 4;
     o.numPlaces = 2;
-    o.hierarchicalSteals = true;
-    o.victimPolicy = VictimPolicy::OccupancyAffinity;
+    o.sched.hierarchicalSteals = true;
+    o.sched.victimPolicy = VictimPolicy::OccupancyAffinity;
     o.pageMap = &pm;
     Runtime rt(o);
 
@@ -402,21 +402,32 @@ TEST(AdaptiveRuntime, EscalationCountersAdvanceUnderStarvation)
     RuntimeOptions o;
     o.numWorkers = 2;
     o.numPlaces = 2;
-    o.hierarchicalSteals = true;
+    o.sched.hierarchicalSteals = true;
     // Pin the blind ladder: under the OccupancyAffinity default a
     // starving worker's dry-board polls *replace* failed probes, so
-    // escalation can legitimately never fire here.
-    o.victimPolicy = VictimPolicy::Distance;
+    // escalation can legitimately never fire here. Pin timer parking
+    // too: under the Board default the starving worker sleeps through
+    // these microsecond-long runs on its own socket's slot (spawn
+    // edges wake socket 0 only — the designed bounded-delay trade) and
+    // may make zero probes before each run ends.
+    o.sched.victimPolicy = VictimPolicy::Distance;
+    o.sched.parkPolicy = ParkPolicy::Timer;
     Runtime rt(o);
-    for (int rep = 0; rep < 20; ++rep) {
+    // On a contended 1-core host the starving worker may not get
+    // scheduled at all during one of these microsecond-long runs (the
+    // -j2 regime flushed exactly that flake out of a fixed 20-run
+    // count), so run until the counter proves the ladder widened, with
+    // a generous bound.
+    uint64_t escalations = 0;
+    for (int rep = 0; rep < 2000 && escalations == 0; ++rep) {
         rt.run([] {
             TaskGroup g;
             g.spawn([] {});
             g.sync();
         });
+        escalations = rt.stats().counters.escalations;
     }
-    const RuntimeStats stats = rt.stats();
-    EXPECT_GT(stats.counters.escalations, 0u);
+    EXPECT_GT(escalations, 0u);
 }
 
 } // namespace

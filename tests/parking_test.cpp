@@ -237,12 +237,12 @@ TEST(RuntimeParking, FibCorrectUnderEveryParkPushCombination)
             RuntimeOptions o;
             o.numWorkers = 3;
             o.numPlaces = 3;
-            o.hierarchicalSteals = true;
-            o.parkPolicy = park;
-            o.pushTarget = push;
+            o.sched.hierarchicalSteals = true;
+            o.sched.parkPolicy = park;
+            o.sched.pushTarget = push;
             // Short fallback: the 1-core host serializes threads, so
             // parks and timeouts genuinely occur during the run.
-            o.parkFallbackUs = 200;
+            o.sched.parkFallbackUs = 200;
             o.seed = 21;
             Runtime rt(o);
             EXPECT_EQ(workloads::fibParallel(rt, n, 10), expected)
@@ -269,8 +269,8 @@ TEST(RuntimeParking, BoardParkingShutsDownCleanly)
     RuntimeOptions o;
     o.numWorkers = 4;
     o.numPlaces = 2;
-    o.parkPolicy = ParkPolicy::Board;
-    o.parkFallbackUs = 50000; // long: shutdown must not wait for it
+    o.sched.parkPolicy = ParkPolicy::Board;
+    o.sched.parkFallbackUs = 50000; // long: shutdown must not wait for it
     Runtime rt(o);
     std::this_thread::sleep_for(20ms);
     // Destructor runs at scope exit; a hang here is the failure mode.
@@ -284,7 +284,7 @@ TEST(SimParking, ModelOffByDefaultAndInert)
 {
     const sim::ComputationDag dag = workloads::fibDag(16);
     sim::SimConfig cfg = sim::SimConfig::adaptiveNumaWs();
-    ASSERT_EQ(cfg.parkAfterFailures, 0);
+    ASSERT_FALSE(cfg.modelParking);
     const sim::SimResult r = sim::simulatePacked(dag, 16, cfg);
     EXPECT_EQ(r.counters.parks, 0u);
     EXPECT_EQ(r.counters.wakeups, 0u);
@@ -294,10 +294,14 @@ TEST(SimParking, ModelOffByDefaultAndInert)
 TEST(SimParking, PoliciesExecuteTheSameWork)
 {
     const sim::ComputationDag dag = workloads::fibDag(16);
+    // The Board defaults flipped in PR 4: the timer baseline must ask
+    // for the retired policy explicitly.
     sim::SimConfig timer = sim::SimConfig::adaptiveNumaWs();
-    timer.parkAfterFailures = 4;
+    timer.modelParking = true;
+    timer.sched.parkSpinFailures = 4;
+    timer.sched.parkPolicy = ParkPolicy::Timer;
     sim::SimConfig board = timer;
-    board.parkPolicy = ParkPolicy::Board;
+    board.sched.parkPolicy = ParkPolicy::Board;
 
     const sim::SimResult rt = sim::simulatePacked(dag, 16, timer);
     const sim::SimResult rb = sim::simulatePacked(dag, 16, board);
@@ -325,9 +329,11 @@ TEST(SimParking, BoardWakesTargetSocketsWithWork)
     const sim::ComputationDag dag = b.finish();
 
     sim::SimConfig timer = sim::SimConfig::adaptiveNumaWs();
-    timer.parkAfterFailures = 4;
+    timer.modelParking = true;
+    timer.sched.parkSpinFailures = 4;
+    timer.sched.parkPolicy = ParkPolicy::Timer;
     sim::SimConfig board = timer;
-    board.parkPolicy = ParkPolicy::Board;
+    board.sched.parkPolicy = ParkPolicy::Board;
 
     const sim::SimResult rt = sim::simulatePacked(dag, 16, timer);
     const sim::SimResult rb = sim::simulatePacked(dag, 16, board);
@@ -345,8 +351,8 @@ TEST(SimParking, DeterministicPerSeed)
 {
     const sim::ComputationDag dag = workloads::fibDag(14);
     sim::SimConfig cfg = sim::SimConfig::adaptiveNumaWs();
-    cfg.parkAfterFailures = 4;
-    cfg.parkPolicy = ParkPolicy::Board;
+    cfg.modelParking = true;
+    cfg.sched.parkSpinFailures = 4;
     cfg.seed = 99;
     const sim::SimResult a = sim::simulatePacked(dag, 8, cfg);
     const sim::SimResult b2 = sim::simulatePacked(dag, 8, cfg);
@@ -374,10 +380,13 @@ TEST(SimPushTarget, BoardReceiversReducePushAttemptsOnHintedWork)
     b.end();
     const sim::ComputationDag dag = b.finish();
 
+    // numaWs() is the paper-literal factory, so its receivers are
+    // already the explicit Random baseline the Board row compares to.
     sim::SimConfig rnd = sim::SimConfig::numaWs();
+    ASSERT_EQ(rnd.sched.pushTarget, PushTarget::Random);
     rnd.seed = 5;
     sim::SimConfig guided = rnd;
-    guided.pushTarget = PushTarget::Board;
+    guided.sched.pushTarget = PushTarget::Board;
 
     const sim::SimResult rr = sim::simulatePacked(dag, 16, rnd);
     const sim::SimResult rg = sim::simulatePacked(dag, 16, guided);

@@ -19,8 +19,8 @@ numaOptions(int workers, int places)
     RuntimeOptions o;
     o.numWorkers = workers;
     o.numPlaces = places;
-    o.biasedSteals = true;
-    o.useMailboxes = true;
+    o.sched.biasedSteals = true;
+    o.sched.useMailboxes = true;
     return o;
 }
 
@@ -118,7 +118,7 @@ TEST(RuntimeNuma, HintedTasksMostlyRunAtTheirPlace)
 TEST(RuntimeNuma, PushbackEventuallyGivesUpAtThreshold)
 {
     RuntimeOptions o = numaOptions(2, 2);
-    o.pushThreshold = 2;
+    o.sched.pushThreshold = 2;
     Runtime rt(o);
     // One worker per place; hint everything at place 1. Work must still
     // complete (load balance beats locality when pushes fail).
@@ -135,7 +135,7 @@ TEST(RuntimeNuma, PushbackEventuallyGivesUpAtThreshold)
 TEST(RuntimeNuma, MailboxesDisabledStillCompletes)
 {
     RuntimeOptions o = numaOptions(4, 2);
-    o.useMailboxes = false;
+    o.sched.useMailboxes = false;
     Runtime rt(o);
     std::atomic<int> n{0};
     rt.run([&] {
@@ -154,7 +154,7 @@ TEST(RuntimeNuma, UnhintedProgramUnaffectedByKnobs)
     // — at minimum, identical results and no pushback traffic.
     for (bool mailboxes : {false, true}) {
         RuntimeOptions o = numaOptions(4, 2);
-        o.useMailboxes = mailboxes;
+        o.sched.useMailboxes = mailboxes;
         Runtime rt(o);
         rt.resetStats();
         std::atomic<int64_t> sum{0};

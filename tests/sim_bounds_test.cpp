@@ -131,10 +131,10 @@ TEST_P(SchedulerBounds, PushesAmortizeAgainstSteals)
     // Section IV: at most two push-triggering events per successful
     // steal, each bounded by the pushing threshold.
     const double limit =
-        2.0 * static_cast<double>(cfg.pushThreshold)
+        2.0 * static_cast<double>(cfg.sched.pushThreshold)
             * static_cast<double>(r.counters.steals
                                   + r.counters.mailboxSteals)
-        + 2.0 * cfg.pushThreshold; // slack for the root frame
+        + 2.0 * cfg.sched.pushThreshold; // slack for the root frame
     EXPECT_LE(static_cast<double>(r.counters.pushAttempts), limit)
         << "P=" << cores << " seed=" << seed;
 }
@@ -193,7 +193,7 @@ TEST(SchedulerBounds, MailboxCapacityPreservesSectionFourBounds)
         for (const int capacity : {1, 4}) {
             SimConfig cfg = SimConfig::numaWs();
             cfg.seed = seed;
-            cfg.mailboxCapacity = capacity;
+            cfg.sched.mailboxCapacity = capacity;
             const SimResult r = simulate(dag, m, 16, cfg);
 
             // (a) Push attempts amortize: each push-triggering event
@@ -205,8 +205,8 @@ TEST(SchedulerBounds, MailboxCapacityPreservesSectionFourBounds)
                 r.counters.steals + r.counters.mailboxSteals
                 + r.counters.mailboxPops + r.counters.resumes);
             const double limit =
-                2.0 * cfg.pushThreshold * acquisitions
-                + 2.0 * cfg.pushThreshold;
+                2.0 * cfg.sched.pushThreshold * acquisitions
+                + 2.0 * cfg.sched.pushThreshold;
             EXPECT_LE(static_cast<double>(r.counters.pushAttempts),
                       limit)
                 << "capacity=" << capacity << " seed=" << seed;
@@ -230,7 +230,7 @@ TEST(SchedulerBounds, MailboxCapacityDoesNotChangeTheWorkTerm)
     const ComputationDag dag = hintedDag(9);
     SimConfig one = SimConfig::numaWs();
     SimConfig four = SimConfig::numaWs();
-    four.mailboxCapacity = 4;
+    four.sched.mailboxCapacity = 4;
     const SimResult r1 = simulate(dag, Machine::paperMachine(), 16, one);
     const SimResult r4 = simulate(dag, Machine::paperMachine(), 16, four);
     EXPECT_EQ(r1.counters.strandsExecuted, r4.counters.strandsExecuted);

@@ -96,10 +96,10 @@ TEST(SimProtocol, HintedFramesArePushedToTheirSocket)
 TEST(SimProtocol, PushingThresholdCapsAttemptsPerFrame)
 {
     SimConfig cfg = SimConfig::numaWs();
-    cfg.pushThreshold = 1;
+    cfg.sched.pushThreshold = 1;
     const SimResult r1 = simulate(hintedWideDag(2, 64),
                                   Machine::paperMachine(), 32, cfg);
-    cfg.pushThreshold = 8;
+    cfg.sched.pushThreshold = 8;
     const SimResult r8 = simulate(hintedWideDag(2, 64),
                                   Machine::paperMachine(), 32, cfg);
     // Larger threshold permits more attempts in the worst case; with
@@ -114,7 +114,7 @@ TEST(SimProtocol, PushingThresholdCapsAttemptsPerFrame)
 TEST(SimProtocol, MailboxesOffDisablesPushing)
 {
     SimConfig cfg = SimConfig::numaWs();
-    cfg.useMailboxes = false;
+    cfg.sched.useMailboxes = false;
     const SimResult r = simulate(hintedWideDag(2, 64),
                                  Machine::paperMachine(), 32, cfg);
     EXPECT_EQ(r.counters.pushAttempts, 0u);
@@ -125,7 +125,7 @@ TEST(SimProtocol, MailboxesOffDisablesPushing)
 TEST(SimProtocol, CoinFlipOffStillCompletes)
 {
     SimConfig cfg = SimConfig::numaWs();
-    cfg.coinFlip = false; // ablation: always inspect the mailbox first
+    cfg.sched.coinFlip = false; // ablation: always inspect the mailbox first
     const SimResult r = simulate(hintedWideDag(2, 64),
                                  Machine::paperMachine(), 32, cfg);
     EXPECT_EQ(r.counters.strandsExecuted, 320u);
@@ -188,9 +188,9 @@ TEST(SimProtocol, EveryStrandRunsExactlyOnceUnderChaos)
         for (bool coin : {false, true})
             for (bool bias : {false, true}) {
                 SimConfig cfg;
-                cfg.useMailboxes = mailboxes;
-                cfg.coinFlip = coin;
-                cfg.biasedSteals = bias;
+                cfg.sched.useMailboxes = mailboxes;
+                cfg.sched.coinFlip = coin;
+                cfg.sched.biasedSteals = bias;
                 const SimResult r =
                     simulate(dag, Machine::paperMachine(), 32, cfg);
                 ASSERT_EQ(r.counters.strandsExecuted, strands)

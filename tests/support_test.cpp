@@ -142,6 +142,39 @@ TEST(Cli, DefaultsApplyWhenAbsent)
               (std::vector<int64_t>{1, 2}));
 }
 
+TEST(Cli, QueriesRegisterKeysAndUnknownKeysSurface)
+{
+    const char *argv[] = {"prog", "--n=1", "--dead-flag", "--typo=3"};
+    Cli cli(4, argv);
+    // Nothing queried yet: every provided key is unknown.
+    EXPECT_EQ(cli.unknownKeys(),
+              (std::vector<std::string>{"dead-flag", "n", "typo"}));
+    // A query registers its key whether or not it was provided.
+    EXPECT_EQ(cli.getInt("n", 0), 1);
+    EXPECT_EQ(cli.getInt("absent", 9), 9);
+    EXPECT_EQ(cli.unknownKeys(),
+              (std::vector<std::string>{"dead-flag", "typo"}));
+    // has() and declareKey() register too (conditional-path keys).
+    EXPECT_TRUE(cli.has("dead-flag"));
+    cli.declareKey("typo");
+    EXPECT_TRUE(cli.unknownKeys().empty());
+    // Destructor runs checkUnknownKeys(): clean here by construction.
+}
+
+TEST(CliDeathTest, UnknownKeyIsFatalAtExit)
+{
+    // The header's promise: a dead --flag in a CI invocation must fail
+    // loudly. The fatal fires in checkUnknownKeys (destructor-time for
+    // real binaries).
+    const auto die = [] {
+        const char *argv[] = {"prog", "--no-such-knob=1"};
+        Cli cli(2, argv);
+        (void)cli.getInt("n", 0);
+        cli.checkUnknownKeys();
+    };
+    EXPECT_DEATH(die(), "unknown key");
+}
+
 TEST(SpinLock, MutualExclusionUnderContention)
 {
     SpinLock lock;
