@@ -256,6 +256,45 @@ main(int argc, char **argv)
         for (const Variant &v : kVariants)
             simRow(report, t, sc, args.cores, v, matmul_constant,
                    matmul_adaptive);
+        // Batched steal-half x capacity-4 mailbox cross product
+        // (ROADMAP): the full adaptive/hierarchical configuration —
+        // whose remote steals already move batches — with four parked
+        // frames per worker behind it. Measured row only, no gate; the
+        // "mailbox" field appears only here so the pre-existing rows
+        // keep their trajectory identity.
+        {
+            const Variant v = kVariants[3]; // adaptive/hierarchical
+            sim::SimConfig cfg = v.simConfig();
+            cfg.sched.mailboxCapacity = 4;
+            const sim::SimResult r =
+                sim::simulatePacked(sc.dag, args.cores, cfg);
+            JsonRow row;
+            row.set("engine", "sim")
+                .set("workload", sc.name)
+                .set("policy", v.policy)
+                .set("victims", v.victims)
+                .set("mailbox", 4)
+                .set("cores", args.cores)
+                .set("elapsed_s", r.elapsedSeconds)
+                .set("work_s", r.workSeconds)
+                .set("sched_s", r.schedSeconds)
+                .set("idle_s", r.idleSeconds)
+                .set("steals", r.counters.steals)
+                .set("steal_attempts", r.counters.stealAttempts)
+                .set("push_successes", r.counters.pushSuccesses)
+                .set("push_give_ups", r.counters.pushGiveUps)
+                .set("batched_steals", r.counters.batchedSteals)
+                .set("batched_frames", r.counters.batchedFrames)
+                .set("remote_fraction", r.memory.remoteFraction());
+            report.addRow(row);
+            t.addRow({v.name() + "/mbox4",
+                      Table::fmtSeconds(r.elapsedSeconds),
+                      Table::fmtSeconds(r.idleSeconds),
+                      std::to_string(r.counters.steals),
+                      std::to_string(r.counters.pushSuccesses),
+                      std::to_string(r.counters.batchedFrames),
+                      Table::fmtRatio(r.memory.remoteFraction())});
+        }
         t.print();
     }
 

@@ -287,6 +287,59 @@ main(int argc, char **argv)
         t.print();
     }
 
+    // Park-tuning soak rows (ROADMAP): the PR 3 timer-era constants
+    // (ParkTuning::Fixed) vs the EWMA-derived fallback/spin budget
+    // (ParkTuning::Ewma), under board parking with random receivers on
+    // the parking workload. Measured only — these rows accumulate the
+    // trajectory evidence a default flip needs; no gate yet. The
+    // "tuning" field appears only on these rows, so the pre-existing
+    // grid rows keep their trajectory-history identity.
+    if (args.only.empty() || args.only == "serialburst") {
+        std::printf("\nSimulated serialburst park-tuning soak, "
+                    "%d seeds:\n",
+                    num_seeds);
+        Table tt({"tuning", "T(mean)", "parks", "spurious"});
+        for (const ParkTuning tuning :
+             {ParkTuning::Fixed, ParkTuning::Ewma}) {
+            Measured m;
+            double parks = 0.0;
+            for (int s = 0; s < num_seeds; ++s) {
+                const uint64_t seed = first_seed + 7919ULL * s;
+                sim::SimConfig cfg = configOf(
+                    {ParkPolicy::Board, PushTarget::Random}, seed);
+                cfg.sched.parkTuning = tuning;
+                const sim::SimResult r = sim::simulatePacked(
+                    cases[0].dag, args.cores, cfg);
+                JsonRow j;
+                j.set("engine", "sim")
+                    .set("workload", "serialburst")
+                    .set("park", parkPolicyName(ParkPolicy::Board))
+                    .set("push", pushTargetName(PushTarget::Random))
+                    .set("tuning", parkTuningName(tuning))
+                    .set("cores", args.cores)
+                    .set("seed", seed)
+                    .set("elapsed_s", r.elapsedSeconds)
+                    .set("parks", r.counters.parks)
+                    .set("wakeups", r.counters.wakeups)
+                    .set("spurious_wakeups",
+                         r.counters.spuriousWakeups);
+                report.addRow(j);
+                m.elapsed += r.elapsedSeconds / num_seeds;
+                m.spurious += static_cast<double>(
+                                  r.counters.spuriousWakeups)
+                              / num_seeds;
+                parks += static_cast<double>(r.counters.parks)
+                         / num_seeds;
+            }
+            tt.addRow({parkTuningName(tuning),
+                       Table::fmtSeconds(m.elapsed),
+                       std::to_string(static_cast<uint64_t>(parks)),
+                       std::to_string(
+                           static_cast<uint64_t>(m.spurious))});
+        }
+        tt.print();
+    }
+
     if (!skip_threaded && args.only.empty()) {
         std::printf("\nThreaded runtime, %d workers:\n", threads);
         threadedRows(report, args.scale, threads);

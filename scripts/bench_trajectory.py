@@ -29,7 +29,9 @@ accumulates over successful main runs only, and the trailing window
 thins by one for every failed run in between. A group FAILS when, among the trailing history entries with
 the *same host_cores shape* (runner-size changes must never read as
 regressions), at least GATE_MIN_RUNS runs contain the group and the new
-elapsed_s exceeds the trailing mean by more than GATE_TOLERANCE. With
+elapsed_s exceeds the trailing mean by more than the report's
+tolerance (GATE_TOLERANCE, widened per report in
+GATE_TOLERANCE_BY_REPORT for microsecond-scale benches). With
 fewer runs of history the group only reports. ``--override`` (CI sets
 it from the ``perf-override`` PR label) demotes failures to warnings
 for intentional perf shifts; exit is then 0 and history still records
@@ -49,12 +51,17 @@ KEY_FIELDS = (
     "escalation",
     "park",
     "push",
+    "tuning",
+    "pool",
+    "mailbox",
     "cores",
     "workers",
+    "spawns_per_sync",
 )
 # Measurements worth a trajectory line, in print order.
 METRICS = (
     "elapsed_s",
+    "spawn_ns",
     "steal_attempts",
     "spurious_wakeups",
     "wakeups",
@@ -68,6 +75,21 @@ GATE_TOLERANCE = 0.10
 GATE_MIN_RUNS = 3
 GATE_WINDOW = 5
 HISTORY_MAX_RUNS = 20
+# Per-report tolerance overrides. The spawn-overhead rows are
+# microsecond-scale (min-rep) timings on a shared runner — hostile
+# territory for a 10% gate even with the noise-robust statistic — so
+# they gate at a width that still catches the failure mode that
+# matters (losing the pool fast path is a >=25% shift) while
+# run-to-run frequency/cache variance reports instead of flapping.
+GATE_TOLERANCE_BY_REPORT = {
+    "BENCH_spawn.json": 0.25,
+}
+
+
+def tolerance_for(label):
+    """Gate tolerance for a history label ("report.json::group")."""
+    return GATE_TOLERANCE_BY_REPORT.get(label.split("::", 1)[0],
+                                        GATE_TOLERANCE)
 
 
 def load_rows(path):
@@ -218,10 +240,11 @@ def run_gate(hist_in, hist_out, new_dir, names, override):
             continue
         mean = sum(trail) / len(trail)
         ratio = means[GATE_METRIC] / mean if mean > 0 else 1.0
+        allowed = tolerance_for(label)
         verdict = "ok"
-        if ratio > 1.0 + GATE_TOLERANCE:
+        if ratio > 1.0 + allowed:
             verdict = "REGRESSION"
-            failures.append((label, ratio))
+            failures.append((label, ratio, allowed))
         print(
             "  %-70s %.3fx vs trailing mean of %d runs  %s"
             % (label, ratio, len(trail), verdict)
@@ -240,14 +263,14 @@ def run_gate(hist_in, hist_out, new_dir, names, override):
     )
 
     if failures:
-        for label, ratio in failures:
+        for label, ratio, allowed in failures:
             print(
                 "::%s::perf gate: %s at %.3fx (> %.2fx allowed)"
                 % (
                     "warning" if override else "error",
                     label,
                     ratio,
-                    1.0 + GATE_TOLERANCE,
+                    1.0 + allowed,
                 )
             )
         if override:

@@ -59,11 +59,20 @@ class WsDeque
     pushTail(T *item)
     {
         const int64_t t = _tail.load(std::memory_order_relaxed);
-        const int64_t h = _head.load(std::memory_order_acquire);
-        if (t - h >= static_cast<int64_t>(_capacity))
-            NUMAWS_PANIC("work deque overflow (capacity %zu); spawn depth "
-                         "exceeds the configured bound",
-                         _capacity);
+        // Overflow check against a cached head bound, hoisting the
+        // acquire load of _head off the common case: _head only ever
+        // advances, so a stale cache understates it and the test is
+        // conservative — the cache is refreshed (and the check
+        // repeated) only when the pessimistic bound trips, i.e. at
+        // most once per `capacity` pushes on a deque thieves are
+        // draining, and once ever on one they are not.
+        if (t - _headCache >= static_cast<int64_t>(_capacity)) {
+            _headCache = _head.load(std::memory_order_acquire);
+            if (t - _headCache >= static_cast<int64_t>(_capacity))
+                NUMAWS_PANIC("work deque overflow (capacity %zu); spawn "
+                             "depth exceeds the configured bound",
+                             _capacity);
+        }
         _buffer[static_cast<std::size_t>(t) % _capacity] = item;
         // Publish the element before advertising the new tail to thieves.
         _tail.store(t + 1, std::memory_order_release);
@@ -201,6 +210,9 @@ class WsDeque
   private:
     alignas(kCacheLineBytes) std::atomic<int64_t> _head{0};
     alignas(kCacheLineBytes) std::atomic<int64_t> _tail{0};
+    /** Owner-only lower bound on _head for pushTail's overflow check;
+     * shares the owner's tail line, never touched by thieves. */
+    int64_t _headCache = 0;
     alignas(kCacheLineBytes) SpinLock _lock;
     std::vector<T *> _buffer;
     std::size_t _capacity;

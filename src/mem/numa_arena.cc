@@ -24,12 +24,11 @@ allocSizes()
 void *
 NumaArena::allocRaw(std::size_t bytes)
 {
-    NUMAWS_ASSERT(bytes > 0);
+    // carveSlab is the one raw page-allocation path; registration-
+    // tracked blocks add the size bookkeeping free() relies on.
     const std::size_t rounded =
         (bytes + kPageBytes - 1) / kPageBytes * kPageBytes;
-    void *p = std::aligned_alloc(kPageBytes, rounded);
-    if (p == nullptr)
-        NUMAWS_FATAL("out of memory allocating %zu bytes", bytes);
+    void *p = carveSlab(rounded);
     {
         std::lock_guard<std::mutex> g(sizesMutex);
         allocSizes()[p] = rounded;
@@ -84,6 +83,30 @@ NumaArena::rebindPartitioned(void *ptr, std::size_t bytes, int chunks)
         _pageMap.registerRange(base + offset, len, PagePolicy::Single, home);
         offset += len;
     }
+}
+
+void *
+NumaArena::carveSlab(std::size_t bytes)
+{
+    NUMAWS_ASSERT(bytes > 0);
+    const std::size_t rounded =
+        (bytes + kPageBytes - 1) / kPageBytes * kPageBytes;
+    void *p = std::aligned_alloc(kPageBytes, rounded);
+    if (p == nullptr)
+        NUMAWS_FATAL("out of memory carving a %zu-byte slab", bytes);
+    return p;
+}
+
+void
+NumaArena::releaseSlab(void *ptr)
+{
+    std::free(ptr);
+}
+
+void *
+NumaArena::carveSlabOnSocket(std::size_t bytes, int socket)
+{
+    return allocOnSocket(bytes, socket);
 }
 
 void

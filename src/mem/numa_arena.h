@@ -49,6 +49,28 @@ class NumaArena
     void rebindOnSocket(void *ptr, std::size_t bytes, int socket);
     void rebindPartitioned(void *ptr, std::size_t bytes, int chunks);
 
+    /** @name Slab carve-out (runtime-internal frame pools)
+     * Raw page-aligned slabs for allocators that manage their own
+     * interior structure (the per-worker task-frame pools). The static
+     * form bypasses PageMap registration — the slab holds runtime
+     * metadata, not application data, and the caller first-touches it
+     * on the thread that will own it, which on a real NUMA kernel homes
+     * the pages on that thread's socket (the mmap + first-touch
+     * analogue of allocOnSocket's mmap + mbind; Wittmann & Hager's
+     * ccNUMA result that first-touch placement of runtime metadata
+     * dominates task-parallel locality is exactly this contract). The
+     * instance form additionally registers the range with the PageMap
+     * so the memory model and affinity machinery see the homes; release
+     * it with free(). */
+    /// @{
+    /** Page-aligned, unregistered slab of at least @p bytes. */
+    static void *carveSlab(std::size_t bytes);
+    /** Release a slab obtained from carveSlab (and only from it). */
+    static void releaseSlab(void *ptr);
+    /** Registered variant: slab homed on @p socket in the PageMap. */
+    void *carveSlabOnSocket(std::size_t bytes, int socket);
+    /// @}
+
     PageMap &pageMap() { return _pageMap; }
 
   private:

@@ -29,12 +29,15 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "deque/mailbox.h"
 #include "deque/ws_deque.h"
 #include "runtime/task.h"
+#include "runtime/task_pool.h"
 #include "sched/occupancy.h"
 #include "sched/parking.h"
 #include "sched/policy.h"
@@ -78,6 +81,14 @@ struct RuntimeOptions
     const PageMap *pageMap = nullptr;
     /** Pin worker threads to host CPUs (best effort). */
     bool pinThreads = false;
+    /**
+     * Task-frame allocation: NUMA-local per-worker pools (default) or
+     * global-heap new/delete per spawn (the ablation baseline). An
+     * engine-side mechanics knob, deliberately *not* in SchedPolicy:
+     * the simulator has no allocator to steer, and no scheduling
+     * decision may depend on it (the engine-parity contract).
+     */
+    TaskPoolPolicy taskPool = TaskPoolPolicy::Pooled;
     /** Root seed; worker RNGs derive from it. */
     uint64_t seed = 0x5eed;
     /** Deque capacity (spawn depth bound). */
@@ -104,6 +115,17 @@ struct WorkerCounters
     uint64_t escalations = 0;        ///< hierarchical level widenings
     uint64_t levelSkips = 0;         ///< dry levels skipped via the board
     uint64_t dryPolls = 0;           ///< probes skipped on a dry board
+    /** @name Task-frame pool counters
+     * Maintained by each worker's TaskFramePool and folded in by
+     * Runtime::stats() via Worker::foldPoolCounters. framesRecycled /
+     * spawns is the steady-state figure of merit (~1.0 once the pool
+     * is warm); remoteFrees counts frames thieves pushed home across
+     * workers; slabBytes is a gauge of carved pool memory. */
+    /// @{
+    uint64_t framesRecycled = 0; ///< pool allocations served from a free list
+    uint64_t remoteFrees = 0;    ///< frames freed onto a remote-free stack
+    uint64_t slabBytes = 0;      ///< pool memory carved from NumaArena
+    /// @}
     /** @name Parking counters
      * Unlike every other counter (written only while executing or
      * stealing inside an active root), these advance on the idle path
@@ -222,6 +244,14 @@ class Worker
         into.levelSkips += c.levelSkips;
         into.escalations += c.escalations;
     }
+    /** Fold the task-frame pool counters into @p into (Runtime::stats). */
+    void
+    foldPoolCounters(WorkerCounters &into) const
+    {
+        into.framesRecycled += _framePool.framesRecycled();
+        into.remoteFrees += _framePool.remoteFrees();
+        into.slabBytes += _framePool.slabBytes();
+    }
     /** Fold the atomic park counters into @p into (Runtime::stats). */
     void
     foldParkCounters(WorkerCounters &into) const
@@ -245,6 +275,8 @@ class Worker
     WsDeque<TaskBase> &deque() { return _deque; }
     /** The worker's scheduling brain (decisions, RNG, tuners). */
     StealCore &core() { return _core; }
+    /** The worker's NUMA-local task-frame pool (spawn fast path). */
+    TaskFramePool &framePool() { return _framePool; }
 
     /** @name Runtime-internal scheduling entry points */
     /// @{
@@ -253,6 +285,10 @@ class Worker
     void helpSync(TaskGroup &group);
     /** Execute @p task, maintaining hint inheritance and accounting. */
     void executeTask(TaskBase *task);
+    /** Destroy @p task and route its frame home: local LIFO when this
+     * worker owns it, the owner's remote-free stack when a thief
+     * finished a stolen task, plain delete for heap frames. */
+    void releaseTask(TaskBase *task);
     /**
      * One steal attempt per the NUMA-WS protocol (biased victim, coin
      * flip, mailbox outcomes, pushback). Returns a task to run or null.
@@ -298,6 +334,18 @@ class Worker
     Place _currentHint = kAnyPlace;
     WsDeque<TaskBase> _deque;
     Mailbox<TaskBase> _mailbox;
+    /** NUMA-local frame recycler behind the allocation-free spawn
+     * path; drained of thief-freed frames on the steal path. */
+    TaskFramePool _framePool;
+    /** Cache of the last deque-occupancy value *we* published. Only
+     * this worker sets its own deque bit, so a false cache always
+     * means the bit is clear and the publish is needed; a true cache
+     * can be stale (a thief's dry-probe repair cleared the bit), in
+     * which case skipping the re-publish leaves a bounded false-empty
+     * — explicitly allowed by the board contract and repaired by the
+     * unconditional publish in acquireLocal's next pop. Saves the
+     * board read on every spawn of a busy worker. */
+    bool _dequeBitPublished = false;
     /** Every scheduling decision (victim, coin flip, receivers,
      * escalation, park streaks/tuning) routes through here — the same
      * core the simulator drives, so the engines cannot diverge. */
@@ -446,7 +494,37 @@ TaskGroup::spawn(F &&fn, Place place, const void *data,
     if (place == kInheritPlace)
         place = w->currentHint();
     using Fn = std::decay_t<F>;
-    auto *task = new TaskImpl<Fn>(this, place, std::forward<F>(fn));
+    using Impl = TaskImpl<Fn>;
+    // Allocation-free fast path: placement-new into a recycled frame
+    // from this worker's NUMA-local pool (work-first: the frame's
+    // eventual cross-socket journey home, if a thief runs it, is paid
+    // on the steal path). Oversized or over-aligned closures, and the
+    // TaskPoolPolicy::Heap ablation, fall back to the global heap.
+    Impl *task = nullptr;
+    if constexpr (alignof(Impl) <= TaskFramePool::kFrameAlign) {
+        if (void *frame = w->framePool().allocate(sizeof(Impl))) {
+            if constexpr (std::is_nothrow_constructible_v<
+                              Impl, TaskGroup *, Place, Fn &&>) {
+                task = new (frame) Impl(this, place,
+                                        std::forward<F>(fn));
+            } else {
+                // Mirror the new-expression guarantee: a throwing
+                // closure move must hand the frame back, not strand
+                // it live in the slab.
+                try {
+                    task = new (frame) Impl(this, place,
+                                            std::forward<F>(fn));
+                } catch (...) {
+                    w->framePool().freeLocal(
+                        TaskFramePool::headerOf(frame));
+                    throw;
+                }
+            }
+            task->setPoolOwner(w->id());
+        }
+    }
+    if (task == nullptr)
+        task = new Impl(this, place, std::forward<F>(fn));
     if (data != nullptr && data_bytes > 0)
         task->setData(data, data_bytes);
     onChildStart();
@@ -469,6 +547,8 @@ Runtime::run(F &&fn)
         }
         onRootDone();
     };
+    // The root frame stays on the heap (poolOwner -1): it is built on
+    // this non-worker thread, before any worker pool could own it.
     auto *root =
         new TaskImpl<decltype(body)>(nullptr, kAnyPlace, std::move(body));
     runRoot(root);

@@ -88,6 +88,7 @@ Runtime::stats() const
         s.counters.merge(const_cast<Worker &>(*w).counters());
         w->foldParkCounters(s.counters);
         w->foldCoreCounters(s.counters);
+        w->foldPoolCounters(s.counters);
         s.time.merge(const_cast<Worker &>(*w).timeSplit());
     }
     return s;
@@ -101,6 +102,7 @@ Runtime::resetStats()
         w->counters() = WorkerCounters{};
         w->resetParkCounters();
         w->core().resetCounters();
+        w->framePool().resetCounters();
         w->timeSplit() = TimeSplit{};
     }
 }

@@ -26,7 +26,19 @@ class TaskGroup;
 class Worker;
 
 /**
- * Type-erased unit of work. Allocated on spawn, freed after execution.
+ * Type-erased unit of work, living in a pooled task frame.
+ *
+ * Lifecycle (TaskPoolPolicy::Pooled, the default): spawn placement-news
+ * the task into a frame from the spawning worker's NUMA-local
+ * TaskFramePool and stamps poolOwner() with that worker's id; after
+ * execution the running worker destroys the object and returns the
+ * frame — to its own pool's local LIFO when it is the owner, or onto
+ * the owner's remote-free stack when a thief finished a stolen task
+ * (runtime/task_pool.h has the full lifecycle). Steady-state spawns
+ * therefore recycle frames without touching the global heap. Tasks too
+ * big (or too aligned) for the pool, every task under
+ * TaskPoolPolicy::Heap, and the root frame keep poolOwner() == -1 and
+ * the plain new/delete lifecycle.
  */
 class TaskBase
 {
@@ -52,6 +64,16 @@ class TaskBase
     uint32_t pushCount() const { return _pushCount; }
     void incPushCount() { ++_pushCount; }
 
+    /** @name Pooled-frame identity
+     * Worker whose TaskFramePool owns this task's frame, or -1 for a
+     * heap-allocated task (oversized, TaskPoolPolicy::Heap, or the
+     * root). Stamped by spawn right after placement-new; the freeing
+     * worker routes the frame home (or deletes) by it. */
+    /// @{
+    int poolOwner() const { return _poolOwner; }
+    void setPoolOwner(int worker) { _poolOwner = worker; }
+    /// @}
+
     /** @name Data range this task chiefly touches (affinity hint)
      * Resolved against the runtime's PageMap to socket homes; feeds the
      * OccupancyAffinity victim weighting. Zero bytes == no annotation. */
@@ -71,11 +93,13 @@ class TaskBase
     Place _place;
     bool _stolen = false;
     uint32_t _pushCount = 0;
+    int32_t _poolOwner = -1;
     uint64_t _dataAddr = 0;
     uint64_t _dataBytes = 0;
 };
 
-/** Concrete task holding a callable inline (one allocation per spawn). */
+/** Concrete task holding a callable inline (one frame per spawn,
+ * pool-recycled in steady state). */
 template <typename F>
 class TaskImpl final : public TaskBase
 {

@@ -29,6 +29,9 @@ WorkerCounters::merge(const WorkerCounters &o)
     escalations += o.escalations;
     levelSkips += o.levelSkips;
     dryPolls += o.dryPolls;
+    framesRecycled += o.framesRecycled;
+    remoteFrees += o.remoteFrees;
+    slabBytes += o.slabBytes;
     parks += o.parks;
     parkWakes += o.parkWakes;
     parkTimeouts += o.parkTimeouts;
@@ -44,6 +47,8 @@ Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
       _place(place),
       _deque(deque_capacity),
       _mailbox(runtime.options().sched.mailboxCapacity),
+      _framePool(id,
+                 runtime.options().taskPool == TaskPoolPolicy::Pooled),
       _core(runtime.options().sched,
             EngineView{&runtime.stealDistribution(), &runtime.board()},
             id, place, seed),
@@ -70,14 +75,23 @@ Worker::current()
 void
 Worker::publishOwnDequeAndNotify()
 {
-    // Edge-triggered publish: free of RMWs while the bit already says
-    // nonempty, so the work path stays the paper's two stores. The core
-    // turns the edge verdict into a wake directive: under board parking
-    // only a 0 -> nonzero socket edge can find sleepers worth waking
-    // (the wakeup-storm cut board parking buys on the spawn path).
-    const bool socket_edge =
-        _runtime.options().sched.boardPublishing()
-        && _runtime.board().publishDeque(_id, true);
+    // Edge-triggered publish, with the board read itself hoisted off
+    // the spawn fast path: when our cached published-bit already says
+    // nonempty, the publish could neither flip the bit nor produce a
+    // socket edge, so skip the call outright — a spawn burst pays for
+    // the board exactly once. The cache can only be stale in the
+    // harmless direction (a thief's dry-probe repair cleared the bit
+    // behind us), which leaves a bounded false-empty the board
+    // contract allows and acquireLocal's unconditional publish on the
+    // next pop repairs. The core turns the edge verdict into a wake
+    // directive: under board parking only a 0 -> nonzero socket edge
+    // can find sleepers worth waking.
+    bool socket_edge = false;
+    if (_runtime.options().sched.boardPublishing()
+        && !_dequeBitPublished) {
+        socket_edge = _runtime.board().publishDeque(_id, true);
+        _dequeBitPublished = true;
+    }
     switch (_core.onPublishEdge(socket_edge)) {
       case WakeDirective::TargetedSocket:
         _runtime.notifyWorkOn(_place);
@@ -107,13 +121,20 @@ Worker::acquireLocal()
         // thief's dry-probe repair can race a push and wrongly clear the
         // bit, and a worker draining a deep deque would otherwise never
         // re-assert it. Edge-triggered publish makes the common
-        // (unchanged) case one relaxed load.
-        if (publishing)
-            _runtime.board().publishDeque(_id, !_deque.empty());
+        // (unchanged) case one relaxed load. This is also the repair
+        // point for the spawn path's published-bit cache, so it stays
+        // an unconditional call.
+        if (publishing) {
+            const bool nonempty = !_deque.empty();
+            _runtime.board().publishDeque(_id, nonempty);
+            _dequeBitPublished = nonempty;
+        }
         return t;
     }
-    if (publishing)
+    if (publishing) {
         _runtime.board().publishDeque(_id, false);
+        _dequeBitPublished = false;
+    }
     // ...then POPMAILBOX: a frame some worker parked here for this place.
     if (TaskBase *t = _mailbox.tryTake()) {
         ++_counters.mailboxTakes;
@@ -130,6 +151,10 @@ Worker::acquireLocal()
 TaskBase *
 Worker::trySteal()
 {
+    // Reclaim frames thieves freed into our pool — on the steal path,
+    // where the work-first principle wants the cost, never the spawn
+    // path. The nothing-pending case is one relaxed load.
+    _framePool.drainRemote();
     if (_runtime.numWorkers() <= 1)
         return nullptr;
     const SchedPolicy &pol = _runtime.options().sched;
@@ -293,8 +318,30 @@ Worker::executeTask(TaskBase *task)
     _currentHint = prev_hint;
     if (task->group() != nullptr)
         task->group()->onChildDone();
-    delete task;
+    // Frame release sits on both the normal and the exception path
+    // above: a thrown task body still recycles its frame.
+    releaseTask(task);
     switchBucket(TimeSplit::Idle);
+}
+
+void
+Worker::releaseTask(TaskBase *task)
+{
+    const int owner = task->poolOwner();
+    if (owner < 0) {
+        delete task; // heap frame: oversized, Heap policy, or the root
+        return;
+    }
+    TaskFrameHeader *frame = TaskFramePool::headerOf(task);
+    task->~TaskBase();
+    if (owner == _id) {
+        _framePool.freeLocal(frame);
+        return;
+    }
+    // Thief-side free of a stolen task: push the frame back to its
+    // owning worker's pool instead of a cross-socket trip through the
+    // global allocator; the owner relinks it on its own steal path.
+    _runtime.worker(owner).framePool().freeRemote(frame);
 }
 
 void

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "mem/latency_model.h"
 #include "mem/llc_model.h"
 #include "mem/numa_arena.h"
@@ -89,6 +91,30 @@ TEST(NumaArena, InterleavedAlternatesPages)
     EXPECT_EQ(pm.homeOf(base + kPageBytes), 1);
     EXPECT_EQ(pm.homeOf(base + 2 * kPageBytes), 0);
     arena.free(p);
+}
+
+TEST(NumaArena, CarveSlabIsPageAlignedAndUsable)
+{
+    // The static carve-out bypasses registration (runtime-internal
+    // metadata): page-aligned, writable end to end, released without
+    // an arena.
+    void *slab = NumaArena::carveSlab(3 * kPageBytes + 7);
+    ASSERT_NE(slab, nullptr);
+    EXPECT_EQ(reinterpret_cast<uint64_t>(slab) % kPageBytes, 0u);
+    std::memset(slab, 0xab, 4 * kPageBytes); // rounded up to pages
+    NumaArena::releaseSlab(slab);
+}
+
+TEST(NumaArena, CarveSlabOnSocketRegistersHomes)
+{
+    PageMap pm(4);
+    NumaArena arena(pm);
+    void *slab = arena.carveSlabOnSocket(2 * kPageBytes, 2);
+    const auto base = reinterpret_cast<uint64_t>(slab);
+    EXPECT_EQ(pm.homeOf(base), 2);
+    EXPECT_EQ(pm.homeOf(base + kPageBytes), 2);
+    arena.free(slab);
+    EXPECT_EQ(pm.homeOf(base), 0);
 }
 
 TEST(LlcModel, MissThenHit)
