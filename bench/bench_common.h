@@ -23,6 +23,7 @@
 
 #include "topology/affinity.h"
 
+#include "numaws.h"
 #include "sim/scheduler.h"
 #include "support/cli.h"
 #include "support/panic.h"

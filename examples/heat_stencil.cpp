@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "runtime/api.h"
+#include "numaws.h"
 #include "support/cli.h"
 #include "support/timing.h"
 #include "workloads/workloads.h"

@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "mem/numa_arena.h"
-#include "runtime/api.h"
+#include "numaws.h"
 #include "support/cli.h"
 #include "support/rng.h"
 #include "support/timing.h"

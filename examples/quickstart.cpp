@@ -8,7 +8,7 @@
 #include <numeric>
 #include <vector>
 
-#include "runtime/api.h"
+#include "numaws.h"
 #include "support/cli.h"
 #include "workloads/workloads.h"
 

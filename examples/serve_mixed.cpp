@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Serving mode: submit a mixed stream of independent jobs through the
+ * open-loop front door and read back per-job latency percentiles.
+ *
+ *   ./serve_mixed [--workers=N] [--jobs=J] [--gap-us=G]
+ *
+ * Three job classes share the runtime: latency-class fib requests,
+ * normal-class heat smoothing with a place hint, and batch-class
+ * matmul. The admission queue serves Latency before Normal before
+ * Batch; between arrivals the elastic pool parks idle workers, so a
+ * mostly-idle server costs almost no CPU.
+ */
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "numaws.h"
+#include "support/cli.h"
+#include "workloads/workloads.h"
+
+using namespace numaws;
+
+namespace {
+
+/** Latency-class request: a small fork-join fib. */
+uint64_t
+fibBody(int n)
+{
+    if (n <= 12)
+        return workloads::fibSerial(n);
+    uint64_t a = 0;
+    uint64_t b = 0;
+    TaskGroup tg;
+    tg.spawn([&a, n] { a = fibBody(n - 1); });
+    b = fibBody(n - 2);
+    tg.sync();
+    return a + b;
+}
+
+/** Normal-class request: a few steps of 2-D heat smoothing. */
+void
+heatBody(std::vector<double> &a, std::vector<double> &b, int nx, int ny)
+{
+    for (int step = 0; step < 2; ++step) {
+        parallelForRange(1, ny - 1, 8, [&](int64_t y0, int64_t y1) {
+            for (int64_t y = y0; y < y1; ++y)
+                for (int x = 1; x < nx - 1; ++x)
+                    b[static_cast<std::size_t>(y) * nx + x] =
+                        0.25
+                        * (a[static_cast<std::size_t>(y) * nx + x - 1]
+                           + a[static_cast<std::size_t>(y) * nx + x + 1]
+                           + a[static_cast<std::size_t>(y - 1) * nx + x]
+                           + a[static_cast<std::size_t>(y + 1) * nx + x]);
+        });
+        a.swap(b);
+    }
+}
+
+/** Batch-class request: a small row-parallel matmul. */
+double
+matmulBody(int n)
+{
+    std::vector<double> A(static_cast<std::size_t>(n) * n, 1.0);
+    std::vector<double> B(static_cast<std::size_t>(n) * n, 2.0);
+    std::vector<double> C(static_cast<std::size_t>(n) * n, 0.0);
+    parallelForRange(0, n, 4, [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i)
+            for (int k = 0; k < n; ++k)
+                for (int j = 0; j < n; ++j)
+                    C[static_cast<std::size_t>(i) * n + j] +=
+                        A[static_cast<std::size_t>(i) * n + k]
+                        * B[static_cast<std::size_t>(k) * n + j];
+    });
+    return C[0];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    RuntimeOptions opts;
+    opts.numWorkers = static_cast<int>(cli.getInt("workers", 4));
+    opts.numPlaces = 2;
+    const int jobs = static_cast<int>(cli.getInt("jobs", 60));
+    const auto gap =
+        std::chrono::microseconds(cli.getInt("gap-us", 500));
+    Runtime rt(opts);
+
+    std::printf("serving %d jobs on %d workers (%s arrivals)\n", jobs,
+                rt.numWorkers(), gap.count() > 0 ? "paced" : "back-to-back");
+
+    std::vector<JobHandle> handles;
+    handles.reserve(static_cast<std::size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) {
+        switch (i % 3) {
+          case 0: // interactive request: strict priority over the rest
+            handles.push_back(rt.submit([] { fibBody(20); },
+                                        {kAnyPlace, JobClass::Latency}));
+            break;
+          case 1: { // place-hinted request: root starts on its data's
+                    // socket, spawns inherit the hint
+            const Place p = static_cast<Place>(i % rt.numPlaces());
+            handles.push_back(rt.submit(
+                [] {
+                    std::vector<double> a(64 * 64, 1.0);
+                    std::vector<double> b(a.size(), 0.0);
+                    heatBody(a, b, 64, 64);
+                },
+                {p, JobClass::Normal}));
+            break;
+          }
+          default: // throughput work: runs when nothing hotter queues
+            handles.push_back(rt.submit([] { matmulBody(48); },
+                                        {kAnyPlace, JobClass::Batch}));
+        }
+        std::this_thread::sleep_for(gap);
+    }
+
+    for (JobHandle &h : handles)
+        h.wait();
+
+    // Per-job decomposition from the handle...
+    const JobHandle &last = handles.back();
+    std::printf("last job: latency=%.1fus queue=%.1fus exec=%.1fus\n",
+                last.latencyNs() / 1e3, last.queueNs() / 1e3,
+                last.execNs() / 1e3);
+
+    // ...and aggregate percentiles from the runtime's histograms.
+    const RuntimeStats s = rt.stats();
+    std::printf("%-8s %8s %10s %10s %10s\n", "class", "jobs", "p50_us",
+                "p99_us", "max_us");
+    for (int c = 0; c < kNumJobClasses; ++c) {
+        const LatencyHist &h = s.jobLatencyByClass[c];
+        if (h.count() == 0)
+            continue;
+        std::printf("%-8s %8llu %10.1f %10.1f %10.1f\n",
+                    jobClassName(static_cast<JobClass>(c)),
+                    static_cast<unsigned long long>(h.count()),
+                    h.quantile(0.50) / 1e3, h.quantile(0.99) / 1e3,
+                    static_cast<double>(h.max()) / 1e3);
+    }
+    std::printf("elastic pool: parks=%llu wakes=%llu parked=%.1fms\n",
+                static_cast<unsigned long long>(s.counters.parks),
+                static_cast<unsigned long long>(s.counters.parkWakes),
+                s.counters.parkedNs / 1e6);
+    return 0;
+}

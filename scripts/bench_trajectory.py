@@ -57,6 +57,12 @@ KEY_FIELDS = (
     "cores",
     "workers",
     "spawns_per_sync",
+    # Serving rows: arrival-rate class and job mix identify the row;
+    # the actual rate is a calibrated measurement, not an identity.
+    "mix",
+    "rate",
+    "arrivals",
+    "elastic",
 )
 # Measurements worth a trajectory line, in print order.
 METRICS = (
@@ -66,6 +72,7 @@ METRICS = (
     "spurious_wakeups",
     "wakeups",
     "push_attempts",
+    "p99_us",
 )
 
 # Gate-mode knobs: >10% over the trailing mean of the last window fails
@@ -83,6 +90,10 @@ HISTORY_MAX_RUNS = 20
 # run-to-run frequency/cache variance reports instead of flapping.
 GATE_TOLERANCE_BY_REPORT = {
     "BENCH_spawn.json": 0.25,
+    # Open-loop serving rows: elapsed is dominated by the arrival
+    # schedule (rate is re-calibrated per run from measured job cost),
+    # so run-to-run variance is wider than the closed-loop benches'.
+    "BENCH_serving.json": 0.25,
 }
 
 

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Umbrella header: the whole public surface of the NUMA-WS runtime.
+ *
+ * Since PR 6 the front door is *job submission*: build a Runtime, then
+ * `submit()` work and `wait()` on the returned handle. Everything an
+ * application needs for that — and for the intra-job parallelism the
+ * paper's API expresses — comes through this one include:
+ *
+ *  - Runtime / RuntimeOptions, Runtime::submit() -> JobHandle and the
+ *    synchronous Runtime::run() convenience (runtime/runtime.h)
+ *  - Job vocabulary: JobOptions, JobClass, JobHandle (runtime/job.h)
+ *  - Intra-job layer: TaskGroup, parallelFor / parallelForRange /
+ *    parallelForPlaces, place introspection (runtime/api.h)
+ *  - SchedPolicy and its knob table (sched/policy.h)
+ *  - Place vocabulary: kAnyPlace, kInheritPlace (topology/place.h)
+ *
+ * Migration from the pre-PR 6 surface:
+ *
+ *  | old                                  | new                         |
+ *  |--------------------------------------|-----------------------------|
+ *  | #include "runtime/runtime.h" +       | #include "numaws.h"         |
+ *  |   "runtime/api.h"                    |                             |
+ *  | rt.run(fn)                           | unchanged — now sugar for   |
+ *  |                                      |   rt.submit(fn).wait()      |
+ *  | fire-and-forget (not expressible)    | auto h = rt.submit(fn);     |
+ *  |                                      |   ... h.wait();             |
+ *  | per-run latency (hand-timed)         | h.latencyNs(), h.queueNs(), |
+ *  |                                      |   stats().jobLatency        |
+ *  | root place/priority (not             | rt.submit(fn, {place, cls}) |
+ *  |   expressible)                       |                             |
+ *
+ * TaskGroup and the parallelFor family are unchanged: they express
+ * parallelism *inside* a job, running on whichever worker executes the
+ * job's root task.
+ */
+#ifndef NUMAWS_NUMAWS_H
+#define NUMAWS_NUMAWS_H
+
+#include "runtime/api.h"
+#include "runtime/job.h"
+#include "runtime/runtime.h"
+#include "sched/policy.h"
+#include "topology/place.h"
+
+#endif // NUMAWS_NUMAWS_H

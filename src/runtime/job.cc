@@ -1,0 +1,28 @@
+#include "runtime/job.h"
+
+#include "runtime/runtime.h"
+
+namespace numaws {
+
+void
+JobHandle::wait()
+{
+    NUMAWS_ASSERT(valid());
+    JobState &s = *_state;
+    if (!s.done.load(std::memory_order_acquire)) {
+        if (Worker *w = Worker::current()) {
+            // Worker thread: help instead of blocking (claims queued
+            // jobs too, so nested submit-and-wait cannot deadlock).
+            w->helpJob(s);
+        } else {
+            std::unique_lock<std::mutex> lock(s.mutex);
+            s.cv.wait(lock, [&s] {
+                return s.done.load(std::memory_order_acquire);
+            });
+        }
+    }
+    if (s.exception)
+        std::rethrow_exception(s.exception);
+}
+
+} // namespace numaws

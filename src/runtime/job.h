@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The serving front door: jobs and job handles.
+ *
+ * A *job* is an independent root computation submitted to the runtime —
+ * the open-loop analogue of a batch run(). Each job carries a place hint,
+ * a priority class, and arrival/start/finish timestamps; the returned
+ * JobHandle is joinable and exposes the job's latency decomposition once
+ * it completes. Inside a job the existing fork-join surface (TaskGroup,
+ * parallelFor*) is unchanged: jobs are the inter-computation layer,
+ * TaskGroup the intra-job layer, and batch Runtime::run(fn) is literally
+ * submit(fn).wait() — one code path.
+ */
+#ifndef NUMAWS_RUNTIME_JOB_H
+#define NUMAWS_RUNTIME_JOB_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "topology/place.h"
+
+namespace numaws {
+
+class Runtime;
+
+/**
+ * Priority class of a job: the admission queue serves Latency before
+ * Normal before Batch (strict, FIFO within a class), and per-class
+ * latency histograms are reported separately in RuntimeStats.
+ */
+enum class JobClass : uint8_t { Latency = 0, Normal = 1, Batch = 2 };
+
+inline constexpr int kNumJobClasses = 3;
+
+inline const char *
+jobClassName(JobClass c)
+{
+    switch (c) {
+      case JobClass::Latency: return "latency";
+      case JobClass::Normal: return "normal";
+      case JobClass::Batch: return "batch";
+    }
+    return "?";
+}
+
+/** Submission parameters for Runtime::submit. */
+struct JobOptions
+{
+    /** Locality hint for the job's root (inherited by its spawns, the
+     * paper's inheritance rule); kAnyPlace for no preference. */
+    Place place = kAnyPlace;
+    JobClass cls = JobClass::Normal;
+};
+
+/**
+ * Shared completion record of one job, owned jointly by the handle and
+ * the in-flight root task. Runtime-internal except through JobHandle.
+ */
+struct JobState
+{
+    JobOptions opts;
+    uint64_t id = 0;
+    /** Timestamps (nowNs clock): submit at admission, start when a
+     * worker begins executing the root, finish when the root returns. */
+    int64_t submitNs = 0;
+    std::atomic<int64_t> startNs{0};
+    std::atomic<int64_t> finishNs{0};
+    std::atomic<bool> done{false};
+    /** First exception escaping the job body; rethrown by wait(). */
+    std::exception_ptr exception;
+    std::mutex mutex;
+    std::condition_variable cv;
+};
+
+/**
+ * Joinable reference to a submitted job. Copyable and cheap (one
+ * shared_ptr); outliving the runtime is safe for the accessors because
+ * the runtime drains submitted jobs before shutting down.
+ */
+class JobHandle
+{
+  public:
+    JobHandle() = default;
+
+    bool valid() const { return _state != nullptr; }
+    uint64_t id() const { return _state->id; }
+    JobClass cls() const { return _state->opts.cls; }
+
+    bool
+    done() const
+    {
+        return _state->done.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Block until the job completes, then rethrow its exception (if
+     * any; every wait() call on a failed job rethrows). On a worker
+     * thread this *helps*: it executes queued jobs and steals instead
+     * of blocking, so nested submit-and-wait cannot deadlock even on a
+     * single-worker runtime.
+     */
+    void wait();
+
+    /** @name Latency decomposition (valid once done()) */
+    /// @{
+    /** submit -> finish: the per-job serving latency. */
+    int64_t
+    latencyNs() const
+    {
+        return _state->finishNs.load(std::memory_order_acquire)
+               - _state->submitNs;
+    }
+    /** submit -> start: admission-queue delay. */
+    int64_t
+    queueNs() const
+    {
+        return _state->startNs.load(std::memory_order_acquire)
+               - _state->submitNs;
+    }
+    /** start -> finish: execution (including intra-job parallelism). */
+    int64_t
+    execNs() const
+    {
+        return _state->finishNs.load(std::memory_order_acquire)
+               - _state->startNs.load(std::memory_order_acquire);
+    }
+    /// @}
+
+  private:
+    friend class Runtime;
+
+    explicit JobHandle(std::shared_ptr<JobState> state)
+        : _state(std::move(state))
+    {
+    }
+
+    std::shared_ptr<JobState> _state;
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_RUNTIME_JOB_H

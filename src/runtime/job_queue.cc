@@ -1,0 +1,39 @@
+#include "runtime/job_queue.h"
+
+#include <mutex>
+
+namespace numaws {
+
+void
+JobQueue::push(TaskBase *root, JobClass cls)
+{
+    Lane &lane = _lanes[static_cast<int>(cls)];
+    {
+        std::lock_guard<SpinLock> g(lane.lock);
+        lane.q.push_back(root);
+    }
+    // Size bump after the push is visible: a popper that observes the
+    // increment will find the root when it scans (lane lock acquire
+    // orders after this push's release).
+    _size.fetch_add(1, std::memory_order_release);
+    _pushes.fetch_add(1, std::memory_order_relaxed);
+}
+
+TaskBase *
+JobQueue::tryPop()
+{
+    if (empty())
+        return nullptr;
+    for (Lane &lane : _lanes) {
+        std::lock_guard<SpinLock> g(lane.lock);
+        if (lane.q.empty())
+            continue;
+        TaskBase *root = lane.q.front();
+        lane.q.pop_front();
+        _size.fetch_sub(1, std::memory_order_release);
+        return root;
+    }
+    return nullptr;
+}
+
+} // namespace numaws

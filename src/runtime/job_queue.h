@@ -1,0 +1,72 @@
+/**
+ * @file
+ * MPMC admission queue feeding job roots to the worker pool.
+ *
+ * Submitters (any thread) deposit a job's root task into its class lane;
+ * idle workers claim roots in strict class order (Latency > Normal >
+ * Batch), FIFO within a class. The queue is deliberately *not* on the
+ * spawn fast path — admission happens at most once per job, so a short
+ * per-lane spinlock critical section is the right trade against lock-free
+ * complexity. What must be cheap is the *dry check* the worker idle loop
+ * and the park predicates perform: empty() is a single atomic load of an
+ * approximate size (exact when quiescent, momentarily conservative under
+ * concurrent pops — a false "nonempty" costs one lane scan, a false
+ * "empty" cannot outlive the concurrent push's admission wake plus the
+ * parking fallback period).
+ */
+#ifndef NUMAWS_RUNTIME_JOB_QUEUE_H
+#define NUMAWS_RUNTIME_JOB_QUEUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+
+#include "runtime/job.h"
+#include "support/spin_lock.h"
+
+namespace numaws {
+
+class TaskBase;
+
+/** Priority-lane MPMC FIFO of unclaimed job root tasks. */
+class JobQueue
+{
+  public:
+    /** Deposit @p root on the @p cls lane. */
+    void push(TaskBase *root, JobClass cls);
+
+    /** Claim the oldest root of the highest non-empty class, or null. */
+    TaskBase *tryPop();
+
+    /** Fast dry check (one atomic load; see file comment for the
+     * transient-staleness contract). */
+    bool
+    empty() const
+    {
+        return _size.load(std::memory_order_acquire) == 0;
+    }
+
+    /** Jobs ever admitted (diagnostics). */
+    uint64_t
+    pushes() const
+    {
+        return _pushes.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Lane
+    {
+        SpinLock lock;
+        std::deque<TaskBase *> q;
+    };
+
+    Lane _lanes[kNumJobClasses];
+    /** Upper-bound size signal: incremented after a push is visible,
+     * decremented only on a successful pop. */
+    std::atomic<int64_t> _size{0};
+    std::atomic<uint64_t> _pushes{0};
+};
+
+} // namespace numaws
+
+#endif // NUMAWS_RUNTIME_JOB_QUEUE_H

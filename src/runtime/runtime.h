@@ -19,6 +19,15 @@
  * mechanics: real deques, mailboxes, condition variables, and the
  * ParkingLot. The simulator drives the very same core, so ablations on
  * either engine toggle one shared implementation.
+ *
+ * Since PR 6 the public entry point is *job submission* (the serving
+ * front door): Runtime::submit(fn, JobOptions) deposits an independent
+ * root computation into the JobQueue and returns a joinable JobHandle
+ * with per-job latency; batch run(fn) is submit(fn).wait() — the same
+ * code path. Idle workers claim queued jobs between steals, and the
+ * pool is *elastic*: workers park through the ParkingLot whenever the
+ * occupancy board and the JobQueue are both dry, waking on admission
+ * edges, so idle cores are yielded between bursts.
  */
 #ifndef NUMAWS_RUNTIME_RUNTIME_H
 #define NUMAWS_RUNTIME_RUNTIME_H
@@ -36,6 +45,8 @@
 
 #include "deque/mailbox.h"
 #include "deque/ws_deque.h"
+#include "runtime/job.h"
+#include "runtime/job_queue.h"
 #include "runtime/task.h"
 #include "runtime/task_pool.h"
 #include "sched/occupancy.h"
@@ -43,6 +54,7 @@
 #include "sched/policy.h"
 #include "sched/steal_core.h"
 #include "support/cache_aligned.h"
+#include "support/latency_hist.h"
 #include "support/panic.h"
 #include "support/rng.h"
 #include "support/spin_lock.h"
@@ -93,6 +105,17 @@ struct RuntimeOptions
     uint64_t seed = 0x5eed;
     /** Deque capacity (spawn depth bound). */
     std::size_t dequeCapacity = 1 << 16;
+    /**
+     * Sampled work/scheduling/idle accounting: read the clock around
+     * 1-in-2^N executed tasks instead of every one (0 == sample every
+     * task, the exact mode). Unsampled tasks are counted and their
+     * work is estimated from the last sampled task's duration at the
+     * next clock read, so bucket *totals* still sum to wall time; the
+     * split converges to the exact one for homogeneous tasks (the
+     * fine-grained regime where the two nowNs() calls — ~40ns/task —
+     * are worth cutting).
+     */
+    int timeSplitSampleShift = 0;
 };
 
 /** Per-worker event counters, aggregated by Runtime::stats(). */
@@ -138,7 +161,14 @@ struct WorkerCounters
     uint64_t parkWakes = 0;          ///< parks ended by a notification
     uint64_t parkTimeouts = 0;       ///< parks ended by the timeout
     uint64_t spuriousWakes = 0;      ///< wakes with a still-dry board
+    /** Nanoseconds spent parked in idleWait: the elastic-pool yield
+     * metric (parkedNs over total worker-idle time is the fraction of
+     * idleness actually handed back to the OS). Atomic on Worker for
+     * the same reason as the park counters. */
+    uint64_t parkedNs = 0;
     /// @}
+    /** Jobs whose root completed on this worker (serving front door). */
+    uint64_t jobsCompleted = 0;
 
     void merge(const WorkerCounters &o);
 };
@@ -148,6 +178,11 @@ struct RuntimeStats
 {
     WorkerCounters counters;
     TimeSplit time;
+    /** Aggregate per-job latency (submit -> finish) across all classes,
+     * merged from the per-worker histograms; see also quantile(). */
+    LatencyHist jobLatency;
+    /** Same, split by JobClass (index with static_cast<int>(cls)). */
+    LatencyHist jobLatencyByClass[kNumJobClasses];
 };
 
 /**
@@ -262,6 +297,7 @@ class Worker
             _parkTimeouts.load(std::memory_order_relaxed);
         into.spuriousWakes +=
             _spuriousWakes.load(std::memory_order_relaxed);
+        into.parkedNs += _parkedNs.load(std::memory_order_relaxed);
     }
     void
     resetParkCounters()
@@ -270,6 +306,31 @@ class Worker
         _parkWakes.store(0, std::memory_order_relaxed);
         _parkTimeouts.store(0, std::memory_order_relaxed);
         _spuriousWakes.store(0, std::memory_order_relaxed);
+        _parkedNs.store(0, std::memory_order_relaxed);
+    }
+    /** Record a completed job's serving latency (Runtime::finishJob;
+     * job roots always finish on a worker, so this is thread-private). */
+    void
+    recordJobLatency(JobClass cls, int64_t ns)
+    {
+        ++_counters.jobsCompleted;
+        _jobHist[static_cast<int>(cls)].record(
+            ns > 0 ? static_cast<uint64_t>(ns) : 0);
+    }
+    /** Merge this worker's per-class job histograms (Runtime::stats). */
+    void
+    foldJobHists(RuntimeStats &into) const
+    {
+        for (int c = 0; c < kNumJobClasses; ++c) {
+            into.jobLatency.merge(_jobHist[c]);
+            into.jobLatencyByClass[c].merge(_jobHist[c]);
+        }
+    }
+    void
+    resetJobHists()
+    {
+        for (LatencyHist &h : _jobHist)
+            h = LatencyHist{};
     }
     Mailbox<TaskBase> &mailbox() { return _mailbox; }
     WsDeque<TaskBase> &deque() { return _deque; }
@@ -283,6 +344,10 @@ class Worker
     void mainLoop();
     /** Help execute work until @p group has no pending children. */
     void helpSync(TaskGroup &group);
+    /** Help execute work — queued jobs included, so nested
+     * submit-and-wait cannot deadlock — until @p job completes
+     * (the worker-side JobHandle::wait). */
+    void helpJob(const JobState &job);
     /** Execute @p task, maintaining hint inheritance and accounting. */
     void executeTask(TaskBase *task);
     /** Destroy @p task and route its frame home: local LIFO when this
@@ -309,12 +374,38 @@ class Worker
      * Linear-timeline time accounting: a worker's lifetime is a single
      * sequence of segments, each attributed to exactly one bucket; nested
      * helping merely switches buckets, so nothing is double counted.
+     *
+     * Sampled mode (RuntimeOptions::timeSplitSampleShift > 0): tasks
+     * executed without a clock read accumulate in _unsampledTasks; the
+     * next switch estimates their work as unsampled-count times the
+     * last sampled task's duration, clamped to the elapsed segment, and
+     * charges the remainder to the segment's nominal bucket — totals
+     * stay exactly wall time, only the split is approximated.
      */
     void
     switchBucket(TimeSplit::Bucket b)
     {
         const int64_t t = nowNs();
-        _time.add(_bucket, t - _mark);
+        int64_t elapsed = t - _mark;
+        if (_unsampledTasks > 0) {
+            // Mean over *all* sampled tasks, not the most recent one:
+            // task sizes are bimodal (tiny interior spawns, fat leaves)
+            // and a last-sample estimator collapses whenever the last
+            // sample happened to be an interior task, leaking leaf work
+            // into the enclosing Scheduling/Idle segment. Before the
+            // first sample completes (count == 0) the prior is that a
+            // segment known to contain task executions was all work.
+            int64_t est = elapsed;
+            if (_sampledTaskCount > 0)
+                est = (_sampledWorkNs / _sampledTaskCount)
+                    * _unsampledTasks;
+            if (est > elapsed)
+                est = elapsed;
+            _time.add(TimeSplit::Work, est);
+            elapsed -= est;
+            _unsampledTasks = 0;
+        }
+        _time.add(_bucket, elapsed);
         _mark = t;
         _bucket = b;
     }
@@ -357,28 +448,56 @@ class Worker
     std::atomic<uint64_t> _parkWakes{0};
     std::atomic<uint64_t> _parkTimeouts{0};
     std::atomic<uint64_t> _spuriousWakes{0};
+    /** Time actually spent parked in idleWait (elastic-pool metric). */
+    std::atomic<uint64_t> _parkedNs{0};
+    /** Per-class serving latency of jobs that completed here; folded
+     * into RuntimeStats::jobLatency* by stats(). */
+    LatencyHist _jobHist[kNumJobClasses];
     WorkerCounters _counters;
     TimeSplit _time;
     TimeSplit::Bucket _bucket = TimeSplit::Idle;
     int64_t _mark = 0;
+    /** @name Sampled time-split state (timeSplitSampleShift) */
+    /// @{
+    uint32_t _sampleMask = 0; ///< 2^shift - 1; 0 samples every task
+    uint32_t _sampleCtr = 0;
+    int64_t _unsampledTasks = 0;
+    int64_t _sampledWorkNs = 0;   ///< summed work of sampled tasks
+    int64_t _sampledTaskCount = 0;
+    /// @}
 };
 
 /**
- * The platform: owns workers and exposes run().
+ * The platform: owns workers and exposes the submission front door.
  */
 class Runtime
 {
   public:
     explicit Runtime(RuntimeOptions options = {});
+
+    /** Drains every submitted job, then stops and joins the workers. */
     ~Runtime();
 
     Runtime(const Runtime &) = delete;
     Runtime &operator=(const Runtime &) = delete;
 
     /**
-     * Execute @p fn as the root of a parallel computation and wait for it
-     * (and everything it spawned) to finish. Callable from a non-worker
-     * thread only; runs may be issued repeatedly.
+     * Submit @p fn as an independent job: an admission-queue entry that
+     * becomes the root of its own parallel computation when an idle
+     * worker claims it. Returns immediately with a joinable handle
+     * carrying the job's latency decomposition. Callable from any
+     * thread, workers included (nested submission); jobs from many
+     * threads serve concurrently.
+     */
+    template <typename F>
+    JobHandle submit(F &&fn, JobOptions opts = {});
+
+    /**
+     * Batch mode: execute @p fn as the root of a parallel computation
+     * and wait for it (and everything it spawned) to finish. Exactly
+     * submit(fn).wait() — the serving path with a synchronous join.
+     * Callable from a non-worker thread only; runs may be issued
+     * repeatedly.
      */
     template <typename F>
     void run(F &&fn);
@@ -399,6 +518,13 @@ class Runtime
     RuntimeStats stats() const;
     void resetStats();
 
+    /** Jobs ever submitted (ids are 1-based submission order). */
+    uint64_t
+    jobsSubmitted() const
+    {
+        return _jobsSubmitted.load(std::memory_order_relaxed);
+    }
+
     /** @name Runtime-internal */
     /// @{
     Worker &worker(int id) { return *_workers[id]; }
@@ -406,18 +532,20 @@ class Runtime
     {
         return _shutdown.load(std::memory_order_acquire);
     }
-    bool rootActive() const
+    /** Any job admitted, queued, or running: thieves keep probing while
+     * true. Covers queued-but-unclaimed jobs (counted from submit). */
+    bool workActive() const
     {
-        return _rootActive.load(std::memory_order_acquire);
+        return _activeJobs.load(std::memory_order_acquire) > 0;
     }
-    /** A root task is placed but unclaimed. The root lives in the
-     * injection slot, not on the occupancy board, so park predicates
-     * must check it separately or worker 0 can sleep through a root
-     * injection for a full fallback period. */
-    bool rootPending() const
-    {
-        return _rootSlot.load(std::memory_order_acquire) != nullptr;
-    }
+    /** A job root sits in the admission queue unclaimed. The queue is
+     * not on the occupancy board, so park predicates must check it
+     * separately or a whole pool can sleep through an admission for a
+     * full fallback period. */
+    bool jobPending() const { return !_jobQueue.empty(); }
+    /** Claim the oldest queued job root (any worker; the idle path
+     * between a failed local acquire and a steal probe). */
+    TaskBase *takeJob() { return _jobQueue.tryPop(); }
     /**
      * Park the calling worker (of @p socket) until work might exist,
      * for at most @p timeout_us microseconds (the caller's StealCore
@@ -428,29 +556,22 @@ class Runtime
      *         work/shutdown predicate, false on a plain timeout.
      */
     bool idleWait(int socket, int timeout_us);
-    /** Wake every parked worker (root injection, shutdown — events any
-     * socket may need to see). */
+    /** Wake every parked worker (shutdown — an event every socket must
+     * see). */
     void notifyWork();
     /** Targeted wake: @p socket's board words went 0 -> nonzero. Under
      * timer parking this degrades to notifyWork() (one global cv). */
     void notifyWorkOn(int socket);
-    void onRootDone();
-    void setRootException(std::exception_ptr e);
-    /**
-     * Claim the pending root task (worker 0 only — the paper pins the
-     * root computation at the first core on the first socket).
-     */
-    TaskBase *
-    takeRoot()
-    {
-        if (_rootSlot.load(std::memory_order_acquire) == nullptr)
-            return nullptr;
-        return _rootSlot.exchange(nullptr, std::memory_order_acq_rel);
-    }
+    /** A job landed in the queue: the admission edge of the elastic
+     * pool. Wakes the hinted place's parked workers, or round-robins
+     * across sockets for unhinted jobs. */
+    void notifyAdmission(Place place);
+    /** Timestamp + histogram + completion signalling for a finished
+     * job (runs on the completing worker). */
+    void finishJob(JobState &state);
     /// @}
 
   private:
-    void runRoot(TaskBase *root);
     static Machine machineForPlaces(int places, int workers);
 
     RuntimeOptions _options;
@@ -462,15 +583,18 @@ class Runtime
     std::vector<std::thread> _threads;
 
     std::atomic<bool> _shutdown{false};
-    std::atomic<bool> _rootActive{false};
-    std::atomic<bool> _rootDone{false};
-    std::atomic<TaskBase *> _rootSlot{nullptr};
-    std::exception_ptr _rootException;
+    /** Jobs submitted but not yet finished (queued + running). */
+    std::atomic<int64_t> _activeJobs{0};
+    std::atomic<uint64_t> _jobsSubmitted{0};
+    /** Round-robin cursor for unhinted admission wakes. */
+    std::atomic<uint32_t> _admitCursor{0};
+    JobQueue _jobQueue;
 
     std::mutex _parkMutex;
     std::condition_variable _parkCv;
-    std::mutex _doneMutex;
-    std::condition_variable _doneCv;
+    /** Signalled when _activeJobs drains to zero (destructor barrier). */
+    std::mutex _quiesceMutex;
+    std::condition_variable _quiesceCv;
 };
 
 // ---------------------------------------------------------------------
@@ -533,25 +657,43 @@ TaskGroup::spawn(F &&fn, Place place, const void *data,
 }
 
 template <typename F>
+JobHandle
+Runtime::submit(F &&fn, JobOptions opts)
+{
+    auto state = std::make_shared<JobState>();
+    state->opts = opts;
+    state->id = _jobsSubmitted.fetch_add(1, std::memory_order_relaxed) + 1;
+    state->submitNs = nowNs();
+    // Active from admission: workActive() must cover queued jobs so
+    // thieves keep probing and park predicates stay honest.
+    _activeJobs.fetch_add(1, std::memory_order_release);
+    // The root runs with no group of its own; completion is signalled
+    // via finishJob after fn returns (all nested groups are synced by
+    // then). Exceptions park in the shared state for wait() to rethrow.
+    auto body = [this, state, f = std::forward<F>(fn)]() mutable {
+        state->startNs.store(nowNs(), std::memory_order_relaxed);
+        try {
+            f();
+        } catch (...) {
+            state->exception = std::current_exception();
+        }
+        finishJob(*state);
+    };
+    // Job root frames stay on the heap (poolOwner -1): they may be
+    // built on a non-worker thread and claimed by any worker.
+    auto *root = new TaskImpl<decltype(body)>(nullptr, opts.place,
+                                              std::move(body));
+    _jobQueue.push(root, opts.cls);
+    notifyAdmission(opts.place);
+    return JobHandle(std::move(state));
+}
+
+template <typename F>
 void
 Runtime::run(F &&fn)
 {
     NUMAWS_ASSERT(Worker::current() == nullptr);
-    // The root runs with no group of its own; completion is signalled via
-    // onRootDone() after fn returns (all nested groups are synced by then).
-    auto body = [this, f = std::forward<F>(fn)]() mutable {
-        try {
-            f();
-        } catch (...) {
-            setRootException(std::current_exception());
-        }
-        onRootDone();
-    };
-    // The root frame stays on the heap (poolOwner -1): it is built on
-    // this non-worker thread, before any worker pool could own it.
-    auto *root =
-        new TaskImpl<decltype(body)>(nullptr, kAnyPlace, std::move(body));
-    runRoot(root);
+    submit(std::forward<F>(fn)).wait();
 }
 
 } // namespace numaws

@@ -62,6 +62,14 @@ Runtime::Runtime(RuntimeOptions options)
 
 Runtime::~Runtime()
 {
+    // Drain first: a submitted-but-unwaited job must finish, not be
+    // abandoned mid-flight (handles stay valid after the runtime dies).
+    {
+        std::unique_lock<std::mutex> lock(_quiesceMutex);
+        _quiesceCv.wait(lock, [this] {
+            return _activeJobs.load(std::memory_order_acquire) == 0;
+        });
+    }
     _shutdown.store(true, std::memory_order_release);
     notifyWork();
     for (auto &t : _threads)
@@ -89,6 +97,7 @@ Runtime::stats() const
         w->foldParkCounters(s.counters);
         w->foldCoreCounters(s.counters);
         w->foldPoolCounters(s.counters);
+        w->foldJobHists(s);
         s.time.merge(const_cast<Worker &>(*w).timeSplit());
     }
     return s;
@@ -97,10 +106,11 @@ Runtime::stats() const
 void
 Runtime::resetStats()
 {
-    NUMAWS_ASSERT(!rootActive());
+    NUMAWS_ASSERT(!workActive());
     for (auto &w : _workers) {
         w->counters() = WorkerCounters{};
         w->resetParkCounters();
+        w->resetJobHists();
         w->core().resetCounters();
         w->framePool().resetCounters();
         w->timeSplit() = TimeSplit{};
@@ -123,10 +133,12 @@ Runtime::idleWait(int socket, int timeout_us)
         return _parking.park(
             socket, std::chrono::microseconds(timeout_us),
             [this, socket] {
-                // rootPending: the injection slot is not on the board,
-                // and only an awake worker 0 can claim it.
-                return shuttingDown() || rootPending()
-                       || (rootActive() && _board.anyWorkFor(socket));
+                // jobPending: the admission queue is not on the board,
+                // so the elastic pool must check it explicitly — this
+                // predicate is what makes parking safe against
+                // admissions racing the registration.
+                return shuttingDown() || jobPending()
+                       || (workActive() && _board.anyWorkFor(socket));
             });
     }
     std::unique_lock<std::mutex> lock(_parkMutex);
@@ -156,43 +168,48 @@ Runtime::notifyWorkOn(int socket)
 }
 
 void
-Runtime::onRootDone()
+Runtime::notifyAdmission(Place place)
 {
-    std::lock_guard<std::mutex> g(_doneMutex);
-    _rootDone.store(true, std::memory_order_release);
-    _doneCv.notify_all();
+    // One targeted wake per admission: the hinted place's socket when
+    // the job carries a hint, else a round-robin socket so bursts of
+    // unhinted jobs fan their wakes out instead of thundering one
+    // parking-lot slot. A wake that races a worker's park registration
+    // is never lost — the park predicate rechecks jobPending() after
+    // registering — and a wake targeting a socket with no parked
+    // workers is bounded by the fallback timeout of the others.
+    const int sockets = _board.numSockets();
+    int socket;
+    if (isConcretePlace(place) && place < sockets) {
+        socket = place;
+    } else {
+        socket = static_cast<int>(
+            _admitCursor.fetch_add(1, std::memory_order_relaxed)
+            % static_cast<uint32_t>(sockets));
+    }
+    notifyWorkOn(socket);
 }
 
 void
-Runtime::setRootException(std::exception_ptr e)
+Runtime::finishJob(JobState &state)
 {
-    _rootException = std::move(e);
-}
-
-void
-Runtime::runRoot(TaskBase *root)
-{
-    NUMAWS_ASSERT(!rootActive());
-    _rootDone.store(false, std::memory_order_relaxed);
-    _rootException = nullptr;
-
-    // Seed the computation at the first worker of the first place: the
-    // paper pins the root at the first core on the first socket. A
-    // dedicated slot (not the mailbox) keeps thieves from grabbing it.
-    TaskBase *expected = nullptr;
-    const bool placed = _rootSlot.compare_exchange_strong(
-        expected, root, std::memory_order_acq_rel);
-    NUMAWS_ASSERT(placed);
-    _rootActive.store(true, std::memory_order_release);
-    notifyWork();
-
-    std::unique_lock<std::mutex> lock(_doneMutex);
-    _doneCv.wait(lock, [this] {
-        return _rootDone.load(std::memory_order_acquire);
-    });
-    _rootActive.store(false, std::memory_order_release);
-    if (_rootException)
-        std::rethrow_exception(_rootException);
+    const int64_t t = nowNs();
+    state.finishNs.store(t, std::memory_order_relaxed);
+    Worker *w = Worker::current();
+    NUMAWS_ASSERT(w != nullptr); // job roots execute on workers only
+    w->recordJobLatency(state.opts.cls, t - state.submitNs);
+    // Retire from the active count *before* publishing done: a waiter
+    // released by the done flag must observe the runtime quiescent
+    // (resetStats asserts !workActive() right after a run()).
+    if (_activeJobs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last in-flight job: release a destructor waiting to quiesce.
+        std::lock_guard<std::mutex> g(_quiesceMutex);
+        _quiesceCv.notify_all();
+    }
+    {
+        std::lock_guard<std::mutex> g(state.mutex);
+        state.done.store(true, std::memory_order_release);
+    }
+    state.cv.notify_all();
 }
 
 } // namespace numaws

@@ -36,6 +36,8 @@ WorkerCounters::merge(const WorkerCounters &o)
     parkWakes += o.parkWakes;
     parkTimeouts += o.parkTimeouts;
     spuriousWakes += o.spuriousWakes;
+    parkedNs += o.parkedNs;
+    jobsCompleted += o.jobsCompleted;
     // (The live park counters are atomics on Worker; Runtime::stats()
     // folds them via foldParkCounters, so aggregates merge plainly.)
 }
@@ -52,7 +54,8 @@ Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
       _core(runtime.options().sched,
             EngineView{&runtime.stealDistribution(), &runtime.board()},
             id, place, seed),
-      _mark(nowNs())
+      _mark(nowNs()),
+      _sampleMask((1u << runtime.options().timeSplitSampleShift) - 1)
 {
     // Mailbox occupancy reaches the board from inside tryPut/tryTake, so
     // pushers and thieves publish transitions without extra call sites;
@@ -139,11 +142,6 @@ Worker::acquireLocal()
     if (TaskBase *t = _mailbox.tryTake()) {
         ++_counters.mailboxTakes;
         return t;
-    }
-    // Worker 0 also owns the root-injection slot.
-    if (_id == 0) {
-        if (TaskBase *t = _runtime.takeRoot())
-            return t;
     }
     return nullptr;
 }
@@ -297,7 +295,17 @@ Worker::noteAffinity(const TaskBase *task)
 void
 Worker::executeTask(TaskBase *task)
 {
-    switchBucket(TimeSplit::Work);
+    // Sampled time split: only 1-in-2^timeSplitSampleShift tasks pay
+    // the two clock reads bracketing execution (~40ns/task in the
+    // fine-grained regime); the rest are counted and reclassified from
+    // the enclosing segment at the next real read (switchBucket). The
+    // default shift of 0 samples every task — the exact mode.
+    const bool sampled = (_sampleCtr++ & _sampleMask) == 0;
+    int64_t work_before = 0;
+    if (sampled) {
+        switchBucket(TimeSplit::Work);
+        work_before = _time.ns(TimeSplit::Work);
+    }
     const Place prev_hint = _currentHint;
     _currentHint = task->place();
     ++_counters.tasksExecuted;
@@ -312,7 +320,7 @@ Worker::executeTask(TaskBase *task)
         if (task->group() != nullptr)
             task->group()->recordException(std::current_exception());
         else
-            throw; // root-task exceptions are captured by Runtime::run
+            throw; // job-root exceptions are captured by Runtime::submit
     }
 
     _currentHint = prev_hint;
@@ -321,7 +329,19 @@ Worker::executeTask(TaskBase *task)
     // Frame release sits on both the normal and the exception path
     // above: a thrown task body still recycles its frame.
     releaseTask(task);
-    switchBucket(TimeSplit::Idle);
+    if (sampled) {
+        switchBucket(TimeSplit::Idle);
+        // Work credited across this task's span (its own segment plus
+        // any nested helping): the per-task estimate the unsampled
+        // majority is charged at.
+        const int64_t w = _time.ns(TimeSplit::Work) - work_before;
+        if (w > 0) {
+            _sampledWorkNs += w;
+            ++_sampledTaskCount;
+        }
+    } else {
+        ++_unsampledTasks;
+    }
 }
 
 void
@@ -352,7 +372,7 @@ Worker::helpSync(TaskGroup &group)
     switchBucket(TimeSplit::Idle);
     while (group.pending() > 0) {
         TaskBase *t = acquireLocal();
-        if (t == nullptr && _runtime.rootActive())
+        if (t == nullptr && _runtime.workActive())
             t = trySteal();
         if (t != nullptr)
             executeTask(t);
@@ -361,6 +381,31 @@ Worker::helpSync(TaskGroup &group)
                 cpuRelax();
     }
     // Control returns to the syncing task's body.
+    switchBucket(TimeSplit::Work);
+}
+
+void
+Worker::helpJob(const JobState &job)
+{
+    // Like helpSync, but for a job join — and unlike a sync, the wait
+    // *claims queued jobs too*: the joined job may still be sitting in
+    // the admission queue behind us, and on a single-worker runtime no
+    // one else could ever claim it (nested submit-and-wait).
+    switchBucket(TimeSplit::Idle);
+    while (!job.done.load(std::memory_order_acquire)) {
+        TaskBase *t = acquireLocal();
+        if (t == nullptr)
+            t = _runtime.takeJob();
+        if (t == nullptr && _runtime.workActive())
+            t = trySteal();
+        if (t != nullptr)
+            executeTask(t);
+        else
+            for (int i = 0;
+                 i < 32 && !job.done.load(std::memory_order_acquire);
+                 ++i)
+                cpuRelax();
+    }
     switchBucket(TimeSplit::Work);
 }
 
@@ -376,7 +421,12 @@ Worker::mainLoop()
     const SchedPolicy &pol = _runtime.options().sched;
     while (!_runtime.shuttingDown()) {
         TaskBase *t = acquireLocal();
-        if (t == nullptr && _runtime.rootActive())
+        // Admission before stealing: a queued job is guaranteed work,
+        // and the worker woken by an admission edge should claim the
+        // job it was woken for rather than contend on steals.
+        if (t == nullptr)
+            t = _runtime.takeJob();
+        if (t == nullptr && _runtime.workActive())
             t = trySteal();
         if (t != nullptr) {
             _core.noteProgress();
@@ -388,20 +438,26 @@ Worker::mainLoop()
         _core.noteFruitless();
         if (_core.takeParkRequest()) {
             _parks.fetch_add(1, std::memory_order_relaxed);
+            const int64_t park_start = nowNs();
             if (_runtime.idleWait(
                     _place, static_cast<int>(_core.parkTimeoutUs())))
                 _parkWakes.fetch_add(1, std::memory_order_relaxed);
             else
                 _parkTimeouts.fetch_add(1, std::memory_order_relaxed);
+            // Parked wall time: the elastic-pool yield metric (the
+            // fraction of idleness actually handed back to the OS).
+            _parkedNs.fetch_add(
+                static_cast<uint64_t>(nowNs() - park_start),
+                std::memory_order_relaxed);
             // A wake that lands on a still-dry board bought nothing:
             // the wakeup-storm metric the board policy is gated on
             // (only meaningful when the board is being published). The
             // same verdict feeds the core's park tuner — quiescent-
             // runtime parks are skipped, they say nothing about in-run
             // wake latency.
-            if (pol.boardPublishing() && _runtime.rootActive()) {
-                const bool found =
-                    _runtime.board().anyWorkFor(_place);
+            if (pol.boardPublishing() && _runtime.workActive()) {
+                const bool found = _runtime.board().anyWorkFor(_place)
+                                   || _runtime.jobPending();
                 if (!found)
                     _spuriousWakes.fetch_add(1,
                                              std::memory_order_relaxed);

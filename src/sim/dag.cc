@@ -94,6 +94,59 @@ ComputationDag::totalRegionBytes() const
     return total;
 }
 
+FrameId
+ComputationDag::append(const ComputationDag &other)
+{
+    NUMAWS_ASSERT(other._root != kNoFrame);
+    const auto frame_off = static_cast<FrameId>(_frames.size());
+    const auto item_off = static_cast<uint32_t>(_items.size());
+    const auto access_off = static_cast<uint32_t>(_accesses.size());
+    const auto region_off = static_cast<RegionId>(_regions.size());
+
+    // Rebase the appended regions past our highest allocation, rounded
+    // up to a fresh 1 MiB arena (the builder's base cursor starts at
+    // 1 MiB, so every incoming base is >= that and the shift keeps all
+    // addresses disjoint and page aligned).
+    uint64_t high = 0;
+    for (const Region &r : _regions)
+        high = std::max(high, r.base + r.bytes);
+    constexpr uint64_t kArena = 1ULL << 20;
+    const uint64_t delta = (high + kArena - 1) / kArena * kArena;
+
+    for (const Region &r : other._regions) {
+        Region copy = r;
+        copy.base += delta;
+        _regions.push_back(std::move(copy));
+    }
+    for (const MemAccess &a : other._accesses) {
+        MemAccess copy = a;
+        copy.region += region_off;
+        _accesses.push_back(copy);
+    }
+    for (const Item &i : other._items) {
+        Item copy = i;
+        copy.accessBegin += access_off;
+        copy.accessEnd += access_off;
+        if (copy.child != kNoFrame)
+            copy.child += frame_off;
+        _items.push_back(copy);
+    }
+    for (const Frame &f : other._frames) {
+        Frame copy = f;
+        copy.itemBegin += item_off;
+        copy.itemEnd += item_off;
+        copy.parentResumeItem += item_off;
+        if (copy.parent != kNoFrame)
+            copy.parent += frame_off;
+        _frames.push_back(copy);
+    }
+    _numStrands += other._numStrands;
+    const FrameId appended_root = other._root + frame_off;
+    if (_root == kNoFrame)
+        _root = appended_root;
+    return appended_root;
+}
+
 // ---------------------------------------------------------------------
 // DagBuilder
 // ---------------------------------------------------------------------

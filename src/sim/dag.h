@@ -133,6 +133,18 @@ class ComputationDag
     /** Total bytes across all regions (footprint reporting). */
     uint64_t totalRegionBytes() const;
 
+    /**
+     * Graft @p other into this dag as an additional independent tree
+     * (the serving front door's multi-job merge): frames, items,
+     * accesses, and regions are copied with their indices remapped,
+     * and region base addresses are rebased past this dag's highest
+     * allocation so the LLC model never aliases two jobs' data.
+     * root() is unchanged (set from the first tree appended into an
+     * empty dag); the returned FrameId is @p other's root here —
+     * the job root the serving simulator injects at arrival time.
+     */
+    FrameId append(const ComputationDag &other);
+
   private:
     friend class DagBuilder;
 

@@ -40,6 +40,10 @@ struct SimCounters
     uint64_t boardDryPolls = 0;  ///< probes skipped on an all-dry board
     uint64_t parks = 0;          ///< idle cores entering the parked state
     uint64_t wakeups = 0;        ///< parked-core wakeups (any cause)
+    /** Cycles spent parked, summed across cores (subset of idle time;
+     * the elastic pool's yield metric, mirroring WorkerCounters::
+     * parkedNs). */
+    uint64_t parkedCycles = 0;
     uint64_t boardWakes = 0;     ///< wakeups from a targeted socket edge
     uint64_t spuriousWakeups = 0; ///< wakeups that found a dry board
 };

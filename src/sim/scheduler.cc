@@ -1,9 +1,11 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "deque/mailbox.h"
+#include "sim/serving.h"
 #include "support/panic.h"
 
 namespace numaws::sim {
@@ -96,7 +98,8 @@ class Simulation
 {
   public:
     Simulation(const ComputationDag &dag, const Machine &machine, int cores,
-               const SimConfig &config, LatencyModel latency)
+               const SimConfig &config, LatencyModel latency,
+               const std::vector<SimJob> *jobs = nullptr)
         : _dag(dag),
           _machine(machine),
           _cfg(config),
@@ -126,13 +129,37 @@ class Simulation
             _cores[c].brain = StealCore(_cfg.sched, view, c, socketOf(c),
                                         splitmix64(seed_state));
         }
-        // The root computation starts on core 0 (first core of the first
-        // socket, as the runtime pins it).
-        _cores[0].cur = Continuation{dag.root(), dag.frame(dag.root())
-                                                     .itemBegin};
+        if (jobs != nullptr) {
+            // Serving mode: nothing is pre-seeded — every root frame
+            // flows through admission at its arrival instant, claimed
+            // from per-class lanes by the scheduling loop (the sim's
+            // JobQueue).
+            _jobs = jobs;
+            NUMAWS_ASSERT(!_jobs->empty());
+            _jobStats.resize(_jobs->size());
+            _jobOfRoot.assign(dag.numFrames(), -1);
+            for (std::size_t j = 0; j < _jobs->size(); ++j) {
+                const SimJob &job = (*_jobs)[j];
+                NUMAWS_ASSERT(job.root != kNoFrame);
+                NUMAWS_ASSERT(dag.frame(job.root).parent == kNoFrame);
+                NUMAWS_ASSERT(job.cls >= 0 && job.cls < kNumJobLanes);
+                NUMAWS_ASSERT(j == 0
+                              || (*_jobs)[j - 1].arrivalCycles
+                                     <= job.arrivalCycles);
+                _jobOfRoot[job.root] = static_cast<int32_t>(j);
+            }
+        } else {
+            // The root computation starts on core 0 (first core of the
+            // first socket, as the runtime pins it).
+            _cores[0].cur = Continuation{dag.root(), dag.frame(dag.root())
+                                                         .itemBegin};
+        }
     }
 
     SimResult run();
+
+    /** Serving mode only: the measured per-job timelines. */
+    const std::vector<SimJobStats> &jobStats() const { return _jobStats; }
 
   private:
     int socketOf(int core) const { return _dist.socketOfWorker(core); }
@@ -283,8 +310,13 @@ class Simulation
         c.boardWakePending = false;
         // The sleep itself and the wake-time board check are idle time.
         c.idleCycles += (now - c.parkStart) + _cfg.boardCheckCost;
+        _counters.parkedCycles +=
+            static_cast<uint64_t>(now - c.parkStart);
         c.clock = now + _cfg.boardCheckCost;
-        const bool found = _board.anyWorkFor(socketOf(core));
+        // The admission lanes are off-board, so the wake check consults
+        // them too (Runtime::idleWait's jobPending() in the predicate).
+        const bool found =
+            _board.anyWorkFor(socketOf(core)) || jobsPending();
         c.brain.onParkOutcome(found);
         if (found) {
             c.parked = false;
@@ -358,6 +390,57 @@ class Simulation
     }
     /// @}
 
+    /** @name Serving mode (open-loop job admission, sim/serving.h) */
+    /// @{
+    static constexpr int kNumJobLanes = 3;
+
+    bool serving() const { return _jobs != nullptr; }
+
+    /** Any admitted-but-unclaimed job? The sim's Runtime::jobPending():
+     * lanes are not on the board, so park predicates and wake checks
+     * must consult this explicitly. */
+    bool
+    jobsPending() const
+    {
+        for (const auto &lane : _jobLanes)
+            if (!lane.empty())
+                return true;
+        return false;
+    }
+
+    /** Admit job @p j at its arrival instant: lane it by class and,
+     * under board parking, issue the targeted socket wake
+     * Runtime::notifyAdmission issues — the hinted socket when the
+     * root carries a concrete place, else round-robin. */
+    void
+    admitJob(int j)
+    {
+        const SimJob &job = (*_jobs)[j];
+        _jobStats[j].arrivalCycles = job.arrivalCycles;
+        _jobLanes[job.cls].push_back(j);
+        if (!parkingModeled() || !_cfg.sched.boardParking())
+            return; // timer parking relies on its fallback, as the runtime
+        const int sockets = _machine.numSockets();
+        const Place p = _dag.frame(job.root).place;
+        int socket;
+        if (isConcretePlace(p) && p < sockets) {
+            socket = p;
+        } else {
+            socket = static_cast<int>(_admitCursor++
+                                      % static_cast<uint32_t>(sockets));
+        }
+        const double at = job.arrivalCycles + _cfg.wakeLatencyCycles;
+        const auto [first, last] = coresOfSocket(socket);
+        for (int w = first; w < last; ++w) {
+            CoreState &c = _cores[w];
+            if (c.parked && at < c.nextWakeAt) {
+                c.boardWakePending = true;
+                schedule(w, at);
+            }
+        }
+    }
+    /// @}
+
     const ComputationDag &_dag;
     const Machine &_machine;
     SimConfig _cfg;
@@ -378,6 +461,19 @@ class Simulation
     MemCounters _mem_counters;
     bool _done = false;
     double _doneTime = 0.0;
+
+    /** @name Serving-mode state */
+    /// @{
+    const std::vector<SimJob> *_jobs = nullptr;
+    std::vector<SimJobStats> _jobStats;
+    /** Root frame id -> job index (-1 for non-root frames). */
+    std::vector<int32_t> _jobOfRoot;
+    std::size_t _nextArrival = 0;
+    /** Admitted, unclaimed job indices per class (JobQueue's lanes). */
+    std::deque<int> _jobLanes[kNumJobLanes];
+    std::size_t _jobsFinished = 0;
+    uint32_t _admitCursor = 0;
+    /// @}
 };
 
 std::pair<double, Charge>
@@ -396,10 +492,26 @@ Simulation::stepReturn(int core)
         return {_cfg.returnCost, Charge::Work};
     }
 
-    // Deque empty: either this is the root finishing, or our parent's
+    // Deque empty: either this is a root finishing, or our parent's
     // continuation was stolen (Figure 2 lines 6-8).
+    const FrameId finished = c.cur.frame;
     c.cur = Continuation{};
     if (f.parent == kNoFrame) {
+        if (serving()) {
+            // A job's root returned: stamp its finish and keep serving
+            // until the last job is done (arrivals still pending keep
+            // the run alive even with every lane drained).
+            const int32_t j = _jobOfRoot[finished];
+            NUMAWS_ASSERT(j >= 0);
+            _jobStats[j].finishCycles = c.clock + _cfg.returnCost;
+            ++_jobsFinished;
+            if (_jobsFinished == _jobs->size()) {
+                _done = true;
+                _doneTime = c.clock + _cfg.returnCost;
+            }
+            c.next = NextAction::Steal;
+            return {_cfg.returnCost, Charge::Work};
+        }
         _done = true;
         _doneTime = c.clock + _cfg.returnCost;
         return {_cfg.returnCost, Charge::Work};
@@ -658,6 +770,23 @@ Simulation::stepSchedulingLoop(int core)
         return {cost, Charge::Sched};
     }
 
+    // Admission before stealing (the threaded mainLoop's order): claim
+    // the oldest job from the highest-priority nonempty lane. Charged
+    // like a mailbox inspection — the JobQueue pop is one locked deque
+    // operation of the same shape.
+    if (serving()) {
+        for (auto &lane : _jobLanes) {
+            if (lane.empty())
+                continue;
+            const int j = lane.front();
+            lane.pop_front();
+            _jobStats[j].startCycles = c.clock + _cfg.mailboxCheckCost;
+            const FrameId root = (*_jobs)[j].root;
+            c.cur = Continuation{root, _dag.frame(root).itemBegin};
+            return {_cfg.mailboxCheckCost, Charge::Sched};
+        }
+    }
+
     return stepStealAttempt(core);
 }
 
@@ -677,6 +806,16 @@ Simulation::run()
 
     while (!_done) {
         NUMAWS_ASSERT(!_heap.empty());
+        // Serving: drain every arrival that lands at or before the next
+        // core event (parked cores always hold a fallback event, so the
+        // heap top bounds how far virtual time can jump). An admission
+        // wake may push an earlier event; the re-check picks it up.
+        while (serving() && _nextArrival < _jobs->size()
+               && (*_jobs)[_nextArrival].arrivalCycles
+                      <= _heap.top().time) {
+            admitJob(static_cast<int>(_nextArrival));
+            ++_nextArrival;
+        }
         const Event ev = _heap.top();
         _heap.pop();
         CoreState &c = _cores[ev.core];
@@ -711,7 +850,8 @@ Simulation::run()
             // returns without sleeping (the timer path has no such
             // predicate — it sleeps regardless, as the runtime does).
             if (_cfg.sched.boardParking()
-                && _board.anyWorkFor(socketOf(ev.core))) {
+                && (_board.anyWorkFor(socketOf(ev.core))
+                    || jobsPending())) {
                 schedule(ev.core, c.clock);
             } else {
                 c.parked = true;
@@ -735,6 +875,10 @@ Simulation::run()
         // Idle-fill the gap between a core's last event and the end of
         // the computation.
         const double fill = std::max(0.0, _doneTime - cs.clock);
+        // A core still parked at the end spends that whole gap asleep:
+        // count it toward the yield metric (its wake event never fires).
+        if (cs.parked)
+            _counters.parkedCycles += static_cast<uint64_t>(fill);
         r.workSeconds += _machine.cyclesToSeconds(cs.workCycles);
         r.schedSeconds += _machine.cyclesToSeconds(cs.schedCycles);
         r.idleSeconds += _machine.cyclesToSeconds(cs.idleCycles + fill);
@@ -766,6 +910,52 @@ simulatePacked(const ComputationDag &dag, int cores,
 {
     const Machine machine = Machine::paperMachineSubset(cores);
     return simulate(dag, machine, cores, config, latency);
+}
+
+ServingResult
+simulateServing(const ComputationDag &dag, const std::vector<SimJob> &jobs,
+                const Machine &machine, int cores, const SimConfig &config,
+                LatencyModel latency)
+{
+    Simulation sim(dag, machine, cores, config, latency, &jobs);
+    ServingResult r;
+    r.sim = sim.run();
+    r.jobs = sim.jobStats();
+
+    // ns per cycle = 1 / ghz; the histogram mirrors the threaded
+    // engine's (bucketed ns), the gate percentiles are exact.
+    const double ns_per_cycle = 1.0 / machine.ghz();
+    std::vector<double> sorted_us;
+    sorted_us.reserve(r.jobs.size());
+    for (const SimJobStats &j : r.jobs) {
+        const double ns = j.latencyCycles() * ns_per_cycle;
+        r.latency.record(ns > 0.0 ? static_cast<uint64_t>(ns) : 0);
+        sorted_us.push_back(ns / 1000.0);
+    }
+    std::sort(sorted_us.begin(), sorted_us.end());
+    const auto exact = [&sorted_us](double q) {
+        if (sorted_us.empty())
+            return 0.0;
+        const auto n = static_cast<double>(sorted_us.size());
+        auto idx = static_cast<std::size_t>(std::ceil(q * n));
+        idx = idx > 0 ? idx - 1 : 0;
+        if (idx >= sorted_us.size())
+            idx = sorted_us.size() - 1;
+        return sorted_us[idx];
+    };
+    r.p50Us = exact(0.50);
+    r.p99Us = exact(0.99);
+    r.p999Us = exact(0.999);
+    return r;
+}
+
+ServingResult
+simulateServingPacked(const ComputationDag &dag,
+                      const std::vector<SimJob> &jobs, int cores,
+                      const SimConfig &config, LatencyModel latency)
+{
+    const Machine machine = Machine::paperMachineSubset(cores);
+    return simulateServing(dag, jobs, machine, cores, config, latency);
 }
 
 } // namespace numaws::sim

@@ -1,0 +1,51 @@
+#include "sim/serving.h"
+
+#include <cmath>
+
+#include "support/panic.h"
+#include "support/rng.h"
+
+namespace numaws::sim {
+
+std::vector<double>
+arrivalCycles(const ArrivalProcess &process, int count, double ghz)
+{
+    NUMAWS_ASSERT(count >= 0);
+    NUMAWS_ASSERT(process.ratePerSec > 0.0);
+    const double cycles_per_sec = ghz * 1e9;
+    Rng rng(process.seed);
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(count));
+
+    // Exponential inter-arrival draw; 1 - nextDouble() is in (0, 1], so
+    // the log argument never hits zero.
+    const auto exp_gap_sec = [&rng](double rate) {
+        return -std::log(1.0 - rng.nextDouble()) / rate;
+    };
+
+    double t = 0.0;
+    switch (process.kind) {
+      case ArrivalProcess::Kind::Poisson:
+        for (int i = 0; i < count; ++i) {
+            t += exp_gap_sec(process.ratePerSec) * cycles_per_sec;
+            out.push_back(t);
+        }
+        break;
+      case ArrivalProcess::Kind::Burst: {
+        const int burst = process.burstSize > 1 ? process.burstSize : 1;
+        // Bursts at the per-burst rate keep the average job rate equal
+        // to ratePerSec while concentrating the admission edges.
+        const double burst_rate = process.ratePerSec / burst;
+        while (static_cast<int>(out.size()) < count) {
+            t += exp_gap_sec(burst_rate) * cycles_per_sec;
+            for (int i = 0; i < burst && static_cast<int>(out.size()) < count;
+                 ++i)
+                out.push_back(t);
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+} // namespace numaws::sim
