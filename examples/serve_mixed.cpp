@@ -120,8 +120,25 @@ main(int argc, char **argv)
         std::this_thread::sleep_for(gap);
     }
 
+    // Overload-protection controls, per job: a deadline resolves the
+    // job Expired if it cannot start (or reach a spawn/sync boundary)
+    // in time, and cancel() resolves a queued job without running it —
+    // a running one unwinds at its next boundary.
+    JobOptions tight;
+    tight.cls = JobClass::Latency;
+    tight.deadlineNs = 50'000; // 50us: hopeless behind a full queue
+    JobHandle deadlined = rt.submit([] { fibBody(20); }, tight);
+    JobHandle doomed = rt.submit([] { matmulBody(48); },
+                                 {kAnyPlace, JobClass::Batch});
+    doomed.cancel();
+
     for (JobHandle &h : handles)
         h.wait();
+    deadlined.wait();
+    doomed.wait();
+    std::printf("deadlined job: %s, cancelled job: %s\n",
+                jobOutcomeName(deadlined.outcome()),
+                jobOutcomeName(doomed.outcome()));
 
     // Per-job decomposition from the handle...
     const JobHandle &last = handles.back();

@@ -63,6 +63,10 @@ KEY_FIELDS = (
     "rate",
     "arrivals",
     "elastic",
+    # Overload rows: the shed policy and the deadline'd fraction of the
+    # arrival stream identify the scenario.
+    "shed",
+    "deadline_frac",
 )
 # Measurements worth a trajectory line, in print order.
 METRICS = (
@@ -73,6 +77,9 @@ METRICS = (
     "wakeups",
     "push_attempts",
     "p99_us",
+    "goodput",
+    "shed_frac",
+    "queue_p99_us",
 )
 
 # Gate-mode knobs: >10% over the trailing mean of the last window fails
@@ -94,6 +101,11 @@ GATE_TOLERANCE_BY_REPORT = {
     # schedule (rate is re-calibrated per run from measured job cost),
     # so run-to-run variance is wider than the closed-loop benches'.
     "BENCH_serving.json": 0.25,
+    # Overload rows run the runtime deliberately past saturation, where
+    # elapsed is hostage to the shed controller's EWMA transient and the
+    # host's scheduling jitter; the bench's own gates already bound the
+    # ratios that matter (latency protection, goodput, collapse).
+    "BENCH_overload.json": 0.25,
 }
 
 

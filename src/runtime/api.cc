@@ -23,6 +23,15 @@ currentRuntime()
     return w == nullptr ? nullptr : &w->runtime();
 }
 
+CancelToken
+currentCancelToken()
+{
+    Worker *w = Worker::current();
+    if (w == nullptr)
+        return CancelToken{};
+    return CancelToken{w->currentJob()};
+}
+
 RangeChunk
 chunkOf(int64_t n, int chunks, int chunk)
 {

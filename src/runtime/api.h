@@ -29,6 +29,16 @@ Place currentPlace();
 Runtime *currentRuntime();
 
 /**
+ * Cancellation view of the job the caller is computing for: valid()
+ * inside a job body (and its spawned subtasks, stolen or not), invalid
+ * — never reporting cancellation — off-runtime or outside any job.
+ * Long boundary-free loops should poll token.cancelled() (or call
+ * token.throwIfCancelled()) so cancel/deadline requests are honored
+ * promptly; spawn/sync-structured code is covered automatically.
+ */
+CancelToken currentCancelToken();
+
+/**
  * Partition helper: bounds of chunk @p chunk when [0, n) is split into
  * @p chunks nearly-equal contiguous pieces (remainder spread over the
  * leading chunks).

@@ -2,38 +2,64 @@
 
 #include <mutex>
 
+#include "support/panic.h"
+
 namespace numaws {
 
 void
-JobQueue::push(TaskBase *root, JobClass cls)
+JobQueue::push(TaskBase *root, std::shared_ptr<JobState> state)
 {
-    Lane &lane = _lanes[static_cast<int>(cls)];
+    NUMAWS_ASSERT(root != nullptr && state != nullptr);
+    Lane &lane = _lanes[static_cast<int>(state->opts.cls)];
     {
         std::lock_guard<SpinLock> g(lane.lock);
-        lane.q.push_back(root);
+        lane.q.push_back(QueuedJob{root, std::move(state)});
     }
-    // Size bump after the push is visible: a popper that observes the
+    // Size bumps after the push is visible: a popper that observes the
     // increment will find the root when it scans (lane lock acquire
     // orders after this push's release).
+    lane.depth.fetch_add(1, std::memory_order_release);
     _size.fetch_add(1, std::memory_order_release);
     _pushes.fetch_add(1, std::memory_order_relaxed);
 }
 
-TaskBase *
+QueuedJob
+JobQueue::popFromLane(Lane &lane)
+{
+    std::lock_guard<SpinLock> g(lane.lock);
+    if (lane.q.empty())
+        return QueuedJob{};
+    QueuedJob job = std::move(lane.q.front());
+    lane.q.pop_front();
+    lane.depth.fetch_sub(1, std::memory_order_release);
+    _size.fetch_sub(1, std::memory_order_release);
+    return job;
+}
+
+QueuedJob
 JobQueue::tryPop()
 {
     if (empty())
-        return nullptr;
+        return QueuedJob{};
     for (Lane &lane : _lanes) {
-        std::lock_guard<SpinLock> g(lane.lock);
-        if (lane.q.empty())
-            continue;
-        TaskBase *root = lane.q.front();
-        lane.q.pop_front();
-        _size.fetch_sub(1, std::memory_order_release);
-        return root;
+        QueuedJob job = popFromLane(lane);
+        if (job.valid())
+            return job;
     }
-    return nullptr;
+    return QueuedJob{};
+}
+
+QueuedJob
+JobQueue::popShedVictim()
+{
+    if (empty())
+        return QueuedJob{};
+    for (int c = kNumJobClasses - 1; c >= 0; --c) {
+        QueuedJob job = popFromLane(_lanes[c]);
+        if (job.valid())
+            return job;
+    }
+    return QueuedJob{};
 }
 
 } // namespace numaws

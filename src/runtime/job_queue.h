@@ -13,6 +13,12 @@
  * concurrent pops — a false "nonempty" costs one lane scan, a false
  * "empty" cannot outlive the concurrent push's admission wake plus the
  * parking fallback period).
+ *
+ * Since PR 7 each entry pairs the root with its shared JobState, so the
+ * claimer can decide the job's fate *before* running it (cancelled or
+ * past-deadline roots are skipped at claim time), and the overload layer
+ * can bound lanes (laneDepth vs ServingPolicy::laneCapacity) and shed
+ * queued jobs from the lowest class (popShedVictim).
  */
 #ifndef NUMAWS_RUNTIME_JOB_QUEUE_H
 #define NUMAWS_RUNTIME_JOB_QUEUE_H
@@ -20,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 
 #include "runtime/job.h"
 #include "support/spin_lock.h"
@@ -28,15 +35,33 @@ namespace numaws {
 
 class TaskBase;
 
+/** One admission-queue entry: a job's root and its completion record.
+ * Holding the state by shared_ptr keeps it alive across a claim-time
+ * skip, where the root (whose closure owns the other reference) is
+ * deleted without running. */
+struct QueuedJob
+{
+    TaskBase *root = nullptr;
+    std::shared_ptr<JobState> state;
+
+    bool valid() const { return root != nullptr; }
+};
+
 /** Priority-lane MPMC FIFO of unclaimed job root tasks. */
 class JobQueue
 {
   public:
-    /** Deposit @p root on the @p cls lane. */
-    void push(TaskBase *root, JobClass cls);
+    /** Deposit @p root on its class lane (class from @p state). */
+    void push(TaskBase *root, std::shared_ptr<JobState> state);
 
-    /** Claim the oldest root of the highest non-empty class, or null. */
-    TaskBase *tryPop();
+    /** Claim the oldest entry of the highest non-empty class, or an
+     * invalid QueuedJob. */
+    QueuedJob tryPop();
+
+    /** Shedding pop: the oldest entry of the *lowest* non-empty class
+     * (Batch before Normal before Latency), or invalid. The QueueDelay
+     * policy's graceful-degradation order. */
+    QueuedJob popShedVictim();
 
     /** Fast dry check (one atomic load; see file comment for the
      * transient-staleness contract). */
@@ -44,6 +69,14 @@ class JobQueue
     empty() const
     {
         return _size.load(std::memory_order_acquire) == 0;
+    }
+
+    /** Queued-but-unclaimed jobs on @p cls's lane (same staleness
+     * contract as empty(); the admission-control depth signal). */
+    int64_t
+    laneDepth(int cls) const
+    {
+        return _lanes[cls].depth.load(std::memory_order_acquire);
     }
 
     /** Jobs ever admitted (diagnostics). */
@@ -57,8 +90,13 @@ class JobQueue
     struct Lane
     {
         SpinLock lock;
-        std::deque<TaskBase *> q;
+        std::deque<QueuedJob> q;
+        /** Per-lane size signal with the same push-then-increment /
+         * decrement-on-pop contract as _size. */
+        std::atomic<int64_t> depth{0};
     };
+
+    QueuedJob popFromLane(Lane &lane);
 
     Lane _lanes[kNumJobClasses];
     /** Upper-bound size signal: incremented after a push is visible,

@@ -52,6 +52,7 @@
 #include "sched/occupancy.h"
 #include "sched/parking.h"
 #include "sched/policy.h"
+#include "sched/shed_core.h"
 #include "sched/steal_core.h"
 #include "support/cache_aligned.h"
 #include "support/latency_hist.h"
@@ -69,6 +70,21 @@ class Runtime;
 
 /** Hard cap on frames moved by one batched remote steal. */
 inline constexpr std::size_t kStealHalfCap = 16;
+
+/**
+ * What Runtime teardown does with jobs still queued (running jobs are
+ * always completed — a body cannot be abandoned mid-flight).
+ */
+enum class ShutdownPolicy : uint8_t
+{
+    /** Wait for every submitted job, queued included, to finish (the
+     * PR 6 behavior and the default). */
+    Drain,
+    /** Resolve queued-but-unstarted jobs as Cancelled without running
+     * them, then wait only for the jobs already executing. The
+     * fast-teardown choice for servers dying under load. */
+    CancelQueued,
+};
 
 /**
  * Runtime construction parameters: engine-side knobs only. Every
@@ -116,6 +132,9 @@ struct RuntimeOptions
      * are worth cutting).
      */
     int timeSplitSampleShift = 0;
+    /** Teardown policy for jobs still queued when the Runtime is
+     * destroyed (see ShutdownPolicy). */
+    ShutdownPolicy shutdownPolicy = ShutdownPolicy::Drain;
 };
 
 /** Per-worker event counters, aggregated by Runtime::stats(). */
@@ -173,16 +192,35 @@ struct WorkerCounters
     void merge(const WorkerCounters &o);
 };
 
+/** Per-class job-resolution tallies (overload-protection telemetry).
+ * `rejected` counts submit-time admission rejections, `shed` counts
+ * queued jobs the QueueDelay policy removed (their JobOutcome is also
+ * Rejected — the counters split the two causes). */
+struct JobOutcomeCounts
+{
+    uint64_t done = 0;
+    uint64_t failed = 0;
+    uint64_t cancelled = 0;
+    uint64_t expired = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+};
+
 /** Aggregated runtime statistics (counters plus the time split). */
 struct RuntimeStats
 {
     WorkerCounters counters;
     TimeSplit time;
     /** Aggregate per-job latency (submit -> finish) across all classes,
-     * merged from the per-worker histograms; see also quantile(). */
+     * merged from the per-worker histograms; see also quantile().
+     * Records jobs that ran to completion (Done/Failed) — resolved-
+     * without-running jobs appear in jobOutcomes, not here, so latency
+     * percentiles stay a statement about served work. */
     LatencyHist jobLatency;
     /** Same, split by JobClass (index with static_cast<int>(cls)). */
     LatencyHist jobLatencyByClass[kNumJobClasses];
+    /** Per-class outcome tallies (index with static_cast<int>(cls)). */
+    JobOutcomeCounts jobOutcomes[kNumJobClasses];
 };
 
 /**
@@ -266,6 +304,13 @@ class Worker
     /** Current inherited locality hint of the executing task. */
     Place currentHint() const { return _currentHint; }
 
+    /** The job whose task this worker is executing right now, or null
+     * on the idle path. Maintained by executeTask (stolen subtasks
+     * carry their job via TaskBase::job), it is what gives TaskGroup's
+     * spawn/sync boundaries and currentCancelToken their cancellation
+     * view. */
+    JobState *currentJob() const { return _currentJob; }
+
     WorkerCounters &counters() { return _counters; }
     TimeSplit &timeSplit() { return _time; }
     /** Fold the StealCore decision counters into @p into
@@ -348,6 +393,10 @@ class Worker
      * submit-and-wait cannot deadlock — until @p job completes
      * (the worker-side JobHandle::wait). */
     void helpJob(const JobState &job);
+    /** Bounded helpJob: stop once nowNs() passes @p deadline_ns (the
+     * worker-side JobHandle::waitUntil). Returns whether @p job is
+     * done. */
+    bool helpJobUntil(const JobState &job, int64_t deadline_ns);
     /** Execute @p task, maintaining hint inheritance and accounting. */
     void executeTask(TaskBase *task);
     /** Destroy @p task and route its frame home: local LIFO when this
@@ -423,6 +472,9 @@ class Worker
     int _id;
     Place _place;
     Place _currentHint = kAnyPlace;
+    /** Job of the task being executed (see currentJob()); saved and
+     * restored across nested executeTask like _currentHint. */
+    JobState *_currentJob = nullptr;
     WsDeque<TaskBase> _deque;
     Mailbox<TaskBase> _mailbox;
     /** NUMA-local frame recycler behind the allocation-free spawn
@@ -544,8 +596,14 @@ class Runtime
      * full fallback period. */
     bool jobPending() const { return !_jobQueue.empty(); }
     /** Claim the oldest queued job root (any worker; the idle path
-     * between a failed local acquire and a steal probe). */
-    TaskBase *takeJob() { return _jobQueue.tryPop(); }
+     * between a failed local acquire and a steal probe). The overload
+     * gate: feeds each claim's queue delay to the ShedCore estimator
+     * and resolves cancelled / past-deadline entries without running
+     * them, returning the first live root (or null). */
+    TaskBase *takeJob();
+    /** The overload-decision brain shared with the simulator
+     * (tests/diagnostics). */
+    const ShedCore &shedCore() const { return _shed; }
     /**
      * Park the calling worker (of @p socket) until work might exist,
      * for at most @p timeout_us microseconds (the caller's StealCore
@@ -566,13 +624,31 @@ class Runtime
      * pool. Wakes the hinted place's parked workers, or round-robins
      * across sockets for unhinted jobs. */
     void notifyAdmission(Place place);
-    /** Timestamp + histogram + completion signalling for a finished
-     * job (runs on the completing worker). */
-    void finishJob(JobState &state);
+    /** Timestamp + histogram + completion signalling for a job whose
+     * root ran to completion on the calling worker. @p outcome is
+     * Done, Failed, Cancelled, or Expired (the latter two when the
+     * body unwound cooperatively); only Done/Failed land in the
+     * latency histograms. */
+    void finishJob(JobState &state, JobOutcome outcome);
     /// @}
 
   private:
     static Machine machineForPlaces(int places, int workers);
+
+    /** Deposit an admitted job on the queue, apply QueueDelay shedding
+     * (one victim per admission while overloaded), and fire the
+     * admission wake. */
+    void enqueueJob(TaskBase *root, std::shared_ptr<JobState> state);
+    /** Resolve a job that will never run (claim-time skip, shed
+     * victim, submit rejection, teardown cancel): publish @p outcome
+     * and done, bump the per-class tally, and — when @p was_active —
+     * retire its _activeJobs slot. Never touches the latency
+     * histograms. */
+    void resolveUnrun(JobState &state, JobOutcome outcome,
+                      bool was_active);
+    /** ShutdownPolicy::CancelQueued teardown sweep: drain the queue,
+     * resolving every entry Cancelled and deleting its root. */
+    void cancelQueuedJobs();
 
     RuntimeOptions _options;
     Machine _machine;
@@ -589,6 +665,22 @@ class Runtime
     /** Round-robin cursor for unhinted admission wakes. */
     std::atomic<uint32_t> _admitCursor{0};
     JobQueue _jobQueue;
+    /** Admission-control / shedding decisions (sched/shed_core.h);
+     * construction-initialized from _options.sched.serving. */
+    ShedCore _shed;
+    /** Per-class job-resolution tallies; atomic because rejections
+     * resolve on submitter threads and sheds on claiming workers
+     * concurrently. Folded into RuntimeStats::jobOutcomes. */
+    struct AtomicOutcomeCounts
+    {
+        std::atomic<uint64_t> done{0};
+        std::atomic<uint64_t> failed{0};
+        std::atomic<uint64_t> cancelled{0};
+        std::atomic<uint64_t> expired{0};
+        std::atomic<uint64_t> rejected{0};
+        std::atomic<uint64_t> shed{0};
+    };
+    AtomicOutcomeCounts _outcomes[kNumJobClasses];
 
     std::mutex _parkMutex;
     std::condition_variable _parkCv;
@@ -615,6 +707,13 @@ TaskGroup::spawn(F &&fn, Place place, const void *data,
 {
     Worker *w = Worker::current();
     NUMAWS_ASSERT(w != nullptr); // spawn only from inside run()
+    // Cooperative cancellation boundary: a cancelled or past-deadline
+    // job stops growing its tree here, and the JobCancelled unwind
+    // rides the normal exception plumbing (recordException + sync
+    // rethrow) up to the job root without preempting anything.
+    if (JobState *job = w->currentJob();
+        job != nullptr && jobInterrupted(*job))
+        throw JobCancelled{};
     if (place == kInheritPlace)
         place = w->currentHint();
     using Fn = std::decay_t<F>;
@@ -651,6 +750,9 @@ TaskGroup::spawn(F &&fn, Place place, const void *data,
         task = new Impl(this, place, std::forward<F>(fn));
     if (data != nullptr && data_bytes > 0)
         task->setData(data, data_bytes);
+    // Children compute for the same job as their spawner (null outside
+    // any job), so stolen subtasks observe cancellation too.
+    task->setJob(w->currentJob());
     onChildStart();
     ++w->counters().spawns;
     w->pushTask(task);
@@ -664,27 +766,47 @@ Runtime::submit(F &&fn, JobOptions opts)
     state->opts = opts;
     state->id = _jobsSubmitted.fetch_add(1, std::memory_order_relaxed) + 1;
     state->submitNs = nowNs();
+    if (opts.deadlineNs > 0)
+        state->deadlineAtNs = state->submitNs + opts.deadlineNs;
+    // Admission control (ShedPolicy::Reject / the QueueDelay capacity
+    // backstop): an over-capacity lane turns this submit into an
+    // immediately-Rejected handle — never counted active, never queued.
+    const int cls = static_cast<int>(opts.cls);
+    if (!_shed.admit(cls, _jobQueue.laneDepth(cls))) {
+        resolveUnrun(*state, JobOutcome::Rejected, /*was_active=*/false);
+        return JobHandle(std::move(state));
+    }
     // Active from admission: workActive() must cover queued jobs so
     // thieves keep probing and park predicates stay honest.
     _activeJobs.fetch_add(1, std::memory_order_release);
     // The root runs with no group of its own; completion is signalled
     // via finishJob after fn returns (all nested groups are synced by
-    // then). Exceptions park in the shared state for wait() to rethrow.
+    // then). A JobCancelled unwind is the *cooperative cancellation*
+    // exit — classified by cause, not recorded as a failure; real
+    // exceptions park in the shared state for wait() to rethrow.
     auto body = [this, state, f = std::forward<F>(fn)]() mutable {
+        state->started.store(true, std::memory_order_relaxed);
         state->startNs.store(nowNs(), std::memory_order_relaxed);
+        JobOutcome outcome = JobOutcome::Done;
         try {
             f();
+        } catch (const JobCancelled &) {
+            outcome = state->cancelRequested.load(
+                          std::memory_order_relaxed)
+                          ? JobOutcome::Cancelled
+                          : JobOutcome::Expired;
         } catch (...) {
             state->exception = std::current_exception();
+            outcome = JobOutcome::Failed;
         }
-        finishJob(*state);
+        finishJob(*state, outcome);
     };
     // Job root frames stay on the heap (poolOwner -1): they may be
     // built on a non-worker thread and claimed by any worker.
     auto *root = new TaskImpl<decltype(body)>(nullptr, opts.place,
                                               std::move(body));
-    _jobQueue.push(root, opts.cls);
-    notifyAdmission(opts.place);
+    root->setJob(state.get());
+    enqueueJob(root, state);
     return JobHandle(std::move(state));
 }
 

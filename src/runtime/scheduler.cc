@@ -38,7 +38,8 @@ Runtime::Runtime(RuntimeOptions options)
             options.sched.biasedSteals ? options.sched.biasWeights
                                        : BiasWeights::uniform()),
       _board(_dist.numWorkers(), _dist.workerSockets()),
-      _parking(options.sched.boardParking() ? _board.numSockets() : 0)
+      _parking(options.sched.boardParking() ? _board.numSockets() : 0),
+      _shed(options.sched.serving)
 {
     const int workers =
         _options.numWorkers > 0 ? _options.numWorkers : hostCpuCount();
@@ -62,7 +63,13 @@ Runtime::Runtime(RuntimeOptions options)
 
 Runtime::~Runtime()
 {
-    // Drain first: a submitted-but-unwaited job must finish, not be
+    // CancelQueued teardown: resolve queued-but-unstarted jobs without
+    // running them, so the quiesce wait below only covers jobs already
+    // executing. Workers racing this sweep merely claim some of the
+    // entries first — every queued job resolves exactly once.
+    if (_options.shutdownPolicy == ShutdownPolicy::CancelQueued)
+        cancelQueuedJobs();
+    // Drain the rest: a submitted-but-unwaited job must finish, not be
     // abandoned mid-flight (handles stay valid after the runtime dies).
     {
         std::unique_lock<std::mutex> lock(_quiesceMutex);
@@ -100,6 +107,16 @@ Runtime::stats() const
         w->foldJobHists(s);
         s.time.merge(const_cast<Worker &>(*w).timeSplit());
     }
+    for (int c = 0; c < kNumJobClasses; ++c) {
+        const AtomicOutcomeCounts &o = _outcomes[c];
+        JobOutcomeCounts &d = s.jobOutcomes[c];
+        d.done = o.done.load(std::memory_order_relaxed);
+        d.failed = o.failed.load(std::memory_order_relaxed);
+        d.cancelled = o.cancelled.load(std::memory_order_relaxed);
+        d.expired = o.expired.load(std::memory_order_relaxed);
+        d.rejected = o.rejected.load(std::memory_order_relaxed);
+        d.shed = o.shed.load(std::memory_order_relaxed);
+    }
     return s;
 }
 
@@ -114,6 +131,14 @@ Runtime::resetStats()
         w->core().resetCounters();
         w->framePool().resetCounters();
         w->timeSplit() = TimeSplit{};
+    }
+    for (AtomicOutcomeCounts &o : _outcomes) {
+        o.done.store(0, std::memory_order_relaxed);
+        o.failed.store(0, std::memory_order_relaxed);
+        o.cancelled.store(0, std::memory_order_relaxed);
+        o.expired.store(0, std::memory_order_relaxed);
+        o.rejected.store(0, std::memory_order_relaxed);
+        o.shed.store(0, std::memory_order_relaxed);
     }
 }
 
@@ -189,14 +214,152 @@ Runtime::notifyAdmission(Place place)
     notifyWorkOn(socket);
 }
 
+TaskBase *
+Runtime::takeJob()
+{
+    // The claim loop is the dequeue-side overload gate: every popped
+    // entry feeds the queue-delay estimator, and cancelled or
+    // past-deadline entries resolve here without ever running — their
+    // roots are deleted (the state survives via QueuedJob's shared_ptr
+    // for the resolution) and the scan continues to the next entry.
+    for (;;) {
+        QueuedJob job = _jobQueue.tryPop();
+        if (!job.valid())
+            return nullptr;
+        JobState &s = *job.state;
+        const int64_t now = nowNs();
+        _shed.observeDelay(static_cast<int>(s.opts.cls),
+                           now - s.submitNs);
+        if (s.cancelRequested.load(std::memory_order_acquire)) {
+            delete job.root;
+            resolveUnrun(s, JobOutcome::Cancelled, /*was_active=*/true);
+            continue;
+        }
+        if (s.deadlineAtNs != 0 && now > s.deadlineAtNs) {
+            delete job.root;
+            resolveUnrun(s, JobOutcome::Expired, /*was_active=*/true);
+            continue;
+        }
+        return job.root;
+    }
+}
+
 void
-Runtime::finishJob(JobState &state)
+Runtime::enqueueJob(TaskBase *root, std::shared_ptr<JobState> state)
+{
+    const Place place = state->opts.place;
+    // QueueDelay shedding at the admission edge: while any class's
+    // observed queue delay sits above its target, each admission pays
+    // for itself by evicting one queued job from the lowest class —
+    // one-in-one-out, so the backlog stops growing under overload and
+    // the Latency lane keeps draining at the Batch lane's expense.
+    // Only a *standing* queue is shed (CoDel's rule): when the lanes
+    // were empty the arrival is the server's next unit of work, and
+    // evicting it would starve a busy-but-drained server.
+    const bool standing = !_jobQueue.empty();
+    _jobQueue.push(root, std::move(state));
+    if (standing && _shed.overloaded()) {
+        QueuedJob victim = _jobQueue.popShedVictim();
+        if (victim.valid()) {
+            delete victim.root;
+            resolveUnrun(*victim.state, JobOutcome::Rejected,
+                         /*was_active=*/true);
+        }
+    }
+    notifyAdmission(place);
+}
+
+void
+Runtime::cancelQueuedJobs()
+{
+    for (;;) {
+        QueuedJob job = _jobQueue.tryPop();
+        if (!job.valid())
+            return;
+        delete job.root;
+        resolveUnrun(*job.state, JobOutcome::Cancelled,
+                     /*was_active=*/true);
+    }
+}
+
+void
+Runtime::resolveUnrun(JobState &state, JobOutcome outcome,
+                      bool was_active)
+{
+    const int cls = static_cast<int>(state.opts.cls);
+    AtomicOutcomeCounts &c = _outcomes[cls];
+    switch (outcome) {
+    case JobOutcome::Cancelled:
+        c.cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+    case JobOutcome::Expired:
+        c.expired.fetch_add(1, std::memory_order_relaxed);
+        break;
+    case JobOutcome::Rejected:
+        // Submit-time rejections never joined the active count; shed
+        // victims did — so the was_active bit doubles as the cause
+        // split between the two Rejected tallies.
+        (was_active ? c.shed : c.rejected)
+            .fetch_add(1, std::memory_order_relaxed);
+        break;
+    default:
+        NUMAWS_PANIC("resolveUnrun with outcome %s",
+                     jobOutcomeName(outcome));
+    }
+    state.finishNs.store(nowNs(), std::memory_order_relaxed);
+    state.outcome.store(outcome, std::memory_order_release);
+    // Same ordering contract as finishJob: retire the active slot
+    // before publishing done, so a released waiter observes the
+    // runtime quiescent.
+    if (was_active
+        && _activeJobs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> g(_quiesceMutex);
+        _quiesceCv.notify_all();
+    }
+    {
+        std::lock_guard<std::mutex> g(state.mutex);
+        state.done.store(true, std::memory_order_release);
+    }
+    state.cv.notify_all();
+}
+
+void
+Runtime::finishJob(JobState &state, JobOutcome outcome)
 {
     const int64_t t = nowNs();
     state.finishNs.store(t, std::memory_order_relaxed);
+    // Deterministic late-finish expiry: a body that ran past its
+    // deadline without hitting a cancellation boundary still resolves
+    // Expired (the threaded analogue of the simulator's clock-edge
+    // check), keeping Done a statement about work served in time.
+    if (outcome == JobOutcome::Done && state.deadlineAtNs != 0
+        && t > state.deadlineAtNs)
+        outcome = JobOutcome::Expired;
     Worker *w = Worker::current();
     NUMAWS_ASSERT(w != nullptr); // job roots execute on workers only
-    w->recordJobLatency(state.opts.cls, t - state.submitNs);
+    // Latency percentiles describe served work: only jobs that ran to
+    // completion (Done/Failed) are recorded.
+    if (outcome == JobOutcome::Done || outcome == JobOutcome::Failed)
+        w->recordJobLatency(state.opts.cls, t - state.submitNs);
+    AtomicOutcomeCounts &c = _outcomes[static_cast<int>(state.opts.cls)];
+    switch (outcome) {
+    case JobOutcome::Done:
+        c.done.fetch_add(1, std::memory_order_relaxed);
+        break;
+    case JobOutcome::Failed:
+        c.failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+    case JobOutcome::Cancelled:
+        c.cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+    case JobOutcome::Expired:
+        c.expired.fetch_add(1, std::memory_order_relaxed);
+        break;
+    default:
+        NUMAWS_PANIC("finishJob with outcome %s",
+                     jobOutcomeName(outcome));
+    }
+    state.outcome.store(outcome, std::memory_order_release);
     // Retire from the active count *before* publishing done: a waiter
     // released by the done flag must observe the runtime quiescent
     // (resetStats asserts !workActive() right after a run()).

@@ -24,6 +24,7 @@ namespace numaws {
 
 class TaskGroup;
 class Worker;
+struct JobState;
 
 /**
  * Type-erased unit of work, living in a pooled task frame.
@@ -74,6 +75,20 @@ class TaskBase
     void setPoolOwner(int worker) { _poolOwner = worker; }
     /// @}
 
+    /** @name Enclosing job
+     * The job this task computes for: stamped on the root by submit,
+     * inherited by every spawn from the spawning worker's current job
+     * (so stolen subtasks carry it too). Workers track it across
+     * executeTask to give spawn/sync boundaries and currentCancelToken
+     * their cancellation view. Null for tasks outside any job (none
+     * today — run() is submit().wait() — but the field is optional by
+     * contract). Non-owning: the root task's closure keeps the state
+     * alive until the job resolves, which outlives every subtask. */
+    /// @{
+    JobState *job() const { return _job; }
+    void setJob(JobState *job) { _job = job; }
+    /// @}
+
     /** @name Data range this task chiefly touches (affinity hint)
      * Resolved against the runtime's PageMap to socket homes; feeds the
      * OccupancyAffinity victim weighting. Zero bytes == no annotation. */
@@ -91,6 +106,7 @@ class TaskBase
   private:
     TaskGroup *_group;
     Place _place;
+    JobState *_job = nullptr;
     bool _stolen = false;
     uint32_t _pushCount = 0;
     int32_t _poolOwner = -1;

@@ -33,6 +33,16 @@ TaskGroup::sync()
     }
     if (e)
         std::rethrow_exception(e);
+
+    // Cooperative cancellation boundary, checked *after* the join: the
+    // children are accounted for either way (a JobCancelled unwind must
+    // not orphan live tasks), but a cancelled or past-deadline job
+    // stops here rather than proceeding into the next serial stage.
+    // The destructor's implicit sync deliberately skips this — it must
+    // not throw — so the unwind it helps along still joins cleanly.
+    if (JobState *job = w->currentJob();
+        job != nullptr && jobInterrupted(*job))
+        throw JobCancelled{};
 }
 
 void

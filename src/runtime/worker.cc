@@ -308,6 +308,12 @@ Worker::executeTask(TaskBase *task)
     }
     const Place prev_hint = _currentHint;
     _currentHint = task->place();
+    // Job context switches with the task (saved/restored like the hint):
+    // stolen subtasks carry their job on the frame, so every worker's
+    // spawn/sync boundaries see the right cancellation state, and
+    // nested helping restores the helper's own job afterwards.
+    JobState *const prev_job = _currentJob;
+    _currentJob = task->job();
     ++_counters.tasksExecuted;
     if (_runtime.options().sched.affinityTracking())
         noteAffinity(task);
@@ -324,6 +330,7 @@ Worker::executeTask(TaskBase *task)
     }
 
     _currentHint = prev_hint;
+    _currentJob = prev_job;
     if (task->group() != nullptr)
         task->group()->onChildDone();
     // Frame release sits on both the normal and the exception path
@@ -407,6 +414,34 @@ Worker::helpJob(const JobState &job)
                 cpuRelax();
     }
     switchBucket(TimeSplit::Work);
+}
+
+bool
+Worker::helpJobUntil(const JobState &job, int64_t deadline_ns)
+{
+    // helpJob with a clock bound (the worker-side waitUntil): keep
+    // executing useful work, but stop once the instant passes even if
+    // the job is unresolved. The deadline is checked between task
+    // executions only — a long task body overshoots, same as any
+    // cooperative scheme here.
+    switchBucket(TimeSplit::Idle);
+    while (!job.done.load(std::memory_order_acquire)
+           && nowNs() < deadline_ns) {
+        TaskBase *t = acquireLocal();
+        if (t == nullptr)
+            t = _runtime.takeJob();
+        if (t == nullptr && _runtime.workActive())
+            t = trySteal();
+        if (t != nullptr)
+            executeTask(t);
+        else
+            for (int i = 0;
+                 i < 32 && !job.done.load(std::memory_order_acquire);
+                 ++i)
+                cpuRelax();
+    }
+    switchBucket(TimeSplit::Work);
+    return job.done.load(std::memory_order_acquire);
 }
 
 void

@@ -115,6 +115,73 @@ parkTuningName(ParkTuning t)
 }
 
 /**
+ * Overload protection for the serving front door (PR 7): what happens
+ * when arrivals outpace capacity. A scheduling *decision* knob — both
+ * engines must agree on when a job is rejected or shed — so it lives
+ * here and is executed by the shared ShedCore (sched/shed_core.h).
+ */
+enum class ShedPolicy : uint8_t
+{
+    /** No protection (the PR 6 behavior): every submit is admitted and
+     * queues grow without bound under overload. */
+    None,
+    /** Bound each class lane: a submit into a lane already at its
+     * ServingPolicy::laneCapacity returns an immediately-Rejected
+     * handle. Backpressure lands on the submitter, in admission order. */
+    Reject,
+    /**
+     * CoDel-style delay-target shedding: each class tracks an EWMA of
+     * the queue delay observed when its jobs are claimed; while any
+     * class sits above its ServingPolicy::queueDelayTargetUs, every
+     * admission sheds one queued job from the *lowest* nonempty class
+     * — Batch before Normal before Latency — so degradation is
+     * graceful by construction. Lane capacities still apply as the
+     * hard backstop.
+     */
+    QueueDelay,
+};
+
+/** Stable name for bench JSON / CLI ("none" | "reject" | "queue_delay"). */
+inline const char *
+shedPolicyName(ShedPolicy p)
+{
+    switch (p) {
+      case ShedPolicy::None:
+        return "none";
+      case ShedPolicy::Reject:
+        return "reject";
+      case ShedPolicy::QueueDelay:
+        return "queue_delay";
+    }
+    return "?";
+}
+
+/** Job classes the serving policy knows about; must equal the runtime's
+ * kNumJobClasses (static_asserted in runtime/job.h) and the simulator's
+ * lane count. Index order is priority order: 0 latency, 1 normal,
+ * 2 batch. */
+inline constexpr int kNumServingClasses = 3;
+
+/**
+ * Per-class overload-protection knobs (see ShedPolicy). Defaults keep
+ * ShedPolicy::None — exactly the PR 6 behavior — so existing configs
+ * are untouched; benches and servers opt in per class.
+ */
+struct ServingPolicy
+{
+    ShedPolicy shed = ShedPolicy::None;
+    /** Max queued-but-unclaimed jobs per class lane; 0 = unbounded.
+     * Enforced at submit under Reject and (as the hard backstop) under
+     * QueueDelay; ignored under None. */
+    int laneCapacity[kNumServingClasses] = {0, 0, 0};
+    /** QueueDelay targets, microseconds: a class whose claim-time
+     * queue-delay EWMA exceeds its target marks the server overloaded. */
+    int queueDelayTargetUs[kNumServingClasses] = {1000, 5000, 20000};
+    /** EWMA weight = 1/2^shift (3 == 1/8, a few claims to converge). */
+    int queueDelayEwmaShift = 3;
+};
+
+/**
  * Scheduling-policy knobs shared verbatim by the threaded runtime and
  * the simulator. Mirrors the paper's mechanisms one-for-one plus the
  * adaptive extensions, each independently ablatable.
@@ -182,6 +249,10 @@ struct SchedPolicy
     /** Max frames one batched remote steal may move (engines clamp to
      * their transport cap). */
     int stealHalfMax = 8;
+    /** Overload protection for the serving front door: admission
+     * bounds and load shedding (see ServingPolicy / ShedPolicy above).
+     * Executed by the shared ShedCore in both engines. */
+    ServingPolicy serving{};
 
     /** @name Derived predicates
      * The single source of truth for "is the board in play" — every

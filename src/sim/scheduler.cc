@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "deque/mailbox.h"
+#include "sched/shed_core.h"
 #include "sim/serving.h"
 #include "support/panic.h"
 
@@ -111,7 +112,8 @@ class Simulation
           _board(cores, _dist.workerSockets()),
           _memory(machine, dag, latency),
           _frames(dag.numFrames()),
-          _cores(static_cast<std::size_t>(cores))
+          _cores(static_cast<std::size_t>(cores)),
+          _shed(config.sched.serving)
     {
         NUMAWS_ASSERT(cores >= 1);
         // Clamp exactly like the threaded Mailbox does, so a cross-engine
@@ -408,16 +410,64 @@ class Simulation
         return false;
     }
 
+    /** Resolve job @p j without running it — admission reject, shed
+     * victim, or claim-time skip — at virtual instant @p at. The sim's
+     * Runtime::resolveUnrun: every job resolves exactly once, so the
+     * finished tally (and the run-termination check) advances here
+     * exactly as it does at a root return. */
+    void
+    resolveJobUnrun(int j, JobOutcome outcome, bool shed, double at)
+    {
+        SimJobStats &st = _jobStats[j];
+        st.outcome = outcome;
+        st.shed = shed;
+        st.finishCycles = at;
+        ++_jobsFinished;
+        if (_jobsFinished == _jobs->size()) {
+            _done = true;
+            _doneTime = std::max(_doneTime, at);
+        }
+    }
+
     /** Admit job @p j at its arrival instant: lane it by class and,
      * under board parking, issue the targeted socket wake
      * Runtime::notifyAdmission issues — the hinted socket when the
-     * root carries a concrete place, else round-robin. */
+     * root carries a concrete place, else round-robin. Since PR 7 the
+     * admission edge is also where the overload layer acts, in the
+     * same order as Runtime::submit/enqueueJob: capacity check first
+     * (reject at the arrival instant, never laned), then one
+     * QueueDelay shed from the lowest nonempty lane while the
+     * claim-delay EWMA sits above target and a standing queue
+     * exists. */
     void
     admitJob(int j)
     {
         const SimJob &job = (*_jobs)[j];
         _jobStats[j].arrivalCycles = job.arrivalCycles;
+        if (!_shed.admit(job.cls, static_cast<int64_t>(
+                                      _jobLanes[job.cls].size()))) {
+            resolveJobUnrun(j, JobOutcome::Rejected, /*shed=*/false,
+                            job.arrivalCycles);
+            return;
+        }
+        // Only a standing queue is shed (CoDel's rule, matching
+        // Runtime::enqueueJob): an arrival into empty lanes is the
+        // server's next unit of work, never a victim.
+        bool standing = false;
+        for (int lane = 0; lane < kNumJobLanes; ++lane)
+            standing |= !_jobLanes[lane].empty();
         _jobLanes[job.cls].push_back(j);
+        if (standing && _shed.overloaded()) {
+            for (int lane = kNumJobLanes - 1; lane >= 0; --lane) {
+                if (_jobLanes[lane].empty())
+                    continue;
+                const int victim = _jobLanes[lane].front();
+                _jobLanes[lane].pop_front();
+                resolveJobUnrun(victim, JobOutcome::Rejected,
+                                /*shed=*/true, job.arrivalCycles);
+                break;
+            }
+        }
         if (!parkingModeled() || !_cfg.sched.boardParking())
             return; // timer parking relies on its fallback, as the runtime
         const int sockets = _machine.numSockets();
@@ -473,6 +523,10 @@ class Simulation
     std::deque<int> _jobLanes[kNumJobLanes];
     std::size_t _jobsFinished = 0;
     uint32_t _admitCursor = 0;
+    /** Overload-protection brain, the same ShedCore the threaded
+     * Runtime drives (sched/shed_core.h); single-threaded here, so
+     * its EWMAs are exact and runs stay byte-deterministic. */
+    ShedCore _shed;
     /// @}
 };
 
@@ -503,11 +557,27 @@ Simulation::stepReturn(int core)
             // the run alive even with every lane drained).
             const int32_t j = _jobOfRoot[finished];
             NUMAWS_ASSERT(j >= 0);
-            _jobStats[j].finishCycles = c.clock + _cfg.returnCost;
+            const SimJob &job = (*_jobs)[j];
+            const double fin = c.clock + _cfg.returnCost;
+            SimJobStats &st = _jobStats[j];
+            st.finishCycles = fin;
+            // Outcome classification at the return edge, mirroring the
+            // threaded wrapper: a cancel that landed mid-run resolves
+            // Cancelled (the sim's fork-join bodies are boundary-dense,
+            // so a cooperative unwind always reaches the root); else a
+            // finish past the deadline resolves Expired (finishJob's
+            // deterministic late-finish flip); else Done.
+            if (job.cancelAtCycles != 0.0 && job.cancelAtCycles <= fin)
+                st.outcome = JobOutcome::Cancelled;
+            else if (job.deadlineCycles != 0.0
+                     && fin > job.deadlineCycles)
+                st.outcome = JobOutcome::Expired;
+            else
+                st.outcome = JobOutcome::Done;
             ++_jobsFinished;
             if (_jobsFinished == _jobs->size()) {
                 _done = true;
-                _doneTime = c.clock + _cfg.returnCost;
+                _doneTime = std::max(_doneTime, fin);
             }
             c.next = NextAction::Steal;
             return {_cfg.returnCost, Charge::Work};
@@ -780,8 +850,32 @@ Simulation::stepSchedulingLoop(int core)
                 continue;
             const int j = lane.front();
             lane.pop_front();
-            _jobStats[j].startCycles = c.clock + _cfg.mailboxCheckCost;
-            const FrameId root = (*_jobs)[j].root;
+            const SimJob &job = (*_jobs)[j];
+            // Claim-time gate, same order as Runtime::takeJob: every
+            // pop feeds the class's claim-delay EWMA (skipped entries
+            // are evidence of the same queue), then cancelled or
+            // past-deadline entries resolve here without running —
+            // one skip per scheduling step, each charged like the
+            // claim it is.
+            _shed.observeDelay(
+                job.cls, static_cast<int64_t>(
+                             (c.clock - job.arrivalCycles)
+                             / _machine.ghz()));
+            const double at = c.clock + _cfg.mailboxCheckCost;
+            if (job.cancelAtCycles != 0.0
+                && job.cancelAtCycles <= c.clock) {
+                resolveJobUnrun(j, JobOutcome::Cancelled,
+                                /*shed=*/false, at);
+                return {_cfg.mailboxCheckCost, Charge::Sched};
+            }
+            if (job.deadlineCycles != 0.0
+                && c.clock > job.deadlineCycles) {
+                resolveJobUnrun(j, JobOutcome::Expired,
+                                /*shed=*/false, at);
+                return {_cfg.mailboxCheckCost, Charge::Sched};
+            }
+            _jobStats[j].startCycles = at;
+            const FrameId root = job.root;
             c.cur = Continuation{root, _dag.frame(root).itemBegin};
             return {_cfg.mailboxCheckCost, Charge::Sched};
         }
@@ -816,6 +910,8 @@ Simulation::run()
             admitJob(static_cast<int>(_nextArrival));
             ++_nextArrival;
         }
+        if (_done)
+            break; // the last job resolved at an admission edge
         const Event ev = _heap.top();
         _heap.pop();
         CoreState &c = _cores[ev.core];
@@ -923,29 +1019,64 @@ simulateServing(const ComputationDag &dag, const std::vector<SimJob> &jobs,
     r.jobs = sim.jobStats();
 
     // ns per cycle = 1 / ghz; the histogram mirrors the threaded
-    // engine's (bucketed ns), the gate percentiles are exact.
+    // engine's (bucketed ns), the gate percentiles are exact. Latency
+    // percentiles cover *served* (Done) jobs only — resolved-without-
+    // serving jobs show up in the outcome tallies, and queue-delay
+    // percentiles cover every job a core actually claimed.
     const double ns_per_cycle = 1.0 / machine.ghz();
-    std::vector<double> sorted_us;
-    sorted_us.reserve(r.jobs.size());
+    std::vector<double> served_us;
+    std::vector<double> queue_us;
+    served_us.reserve(r.jobs.size());
+    queue_us.reserve(r.jobs.size());
     for (const SimJobStats &j : r.jobs) {
+        switch (j.outcome) {
+          case JobOutcome::Done:
+            ++r.done;
+            break;
+          case JobOutcome::Expired:
+            ++r.expired;
+            break;
+          case JobOutcome::Cancelled:
+            ++r.cancelled;
+            break;
+          case JobOutcome::Rejected:
+            ++r.rejected;
+            if (j.shed)
+                ++r.shed;
+            break;
+          default:
+            NUMAWS_PANIC("sim job left unresolved (outcome %s)",
+                         jobOutcomeName(j.outcome));
+        }
+        if (j.startCycles > 0.0)
+            queue_us.push_back(j.queueCycles() * ns_per_cycle / 1000.0);
+        if (j.outcome != JobOutcome::Done)
+            continue;
         const double ns = j.latencyCycles() * ns_per_cycle;
         r.latency.record(ns > 0.0 ? static_cast<uint64_t>(ns) : 0);
-        sorted_us.push_back(ns / 1000.0);
+        served_us.push_back(ns / 1000.0);
     }
-    std::sort(sorted_us.begin(), sorted_us.end());
-    const auto exact = [&sorted_us](double q) {
-        if (sorted_us.empty())
+    std::sort(served_us.begin(), served_us.end());
+    std::sort(queue_us.begin(), queue_us.end());
+    const auto exact = [](const std::vector<double> &sorted, double q) {
+        if (sorted.empty())
             return 0.0;
-        const auto n = static_cast<double>(sorted_us.size());
+        const auto n = static_cast<double>(sorted.size());
         auto idx = static_cast<std::size_t>(std::ceil(q * n));
         idx = idx > 0 ? idx - 1 : 0;
-        if (idx >= sorted_us.size())
-            idx = sorted_us.size() - 1;
-        return sorted_us[idx];
+        if (idx >= sorted.size())
+            idx = sorted.size() - 1;
+        return sorted[idx];
     };
-    r.p50Us = exact(0.50);
-    r.p99Us = exact(0.99);
-    r.p999Us = exact(0.999);
+    r.p50Us = exact(served_us, 0.50);
+    r.p99Us = exact(served_us, 0.99);
+    r.p999Us = exact(served_us, 0.999);
+    r.queueP50Us = exact(queue_us, 0.50);
+    r.queueP99Us = exact(queue_us, 0.99);
+    r.goodputPerSec = r.sim.elapsedSeconds > 0.0
+                          ? static_cast<double>(r.done)
+                                / r.sim.elapsedSeconds
+                          : 0.0;
     return r;
 }
 

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/job.h"
 #include "sim/dag.h"
 #include "sim/scheduler.h"
 #include "support/latency_hist.h"
@@ -38,6 +39,18 @@ struct SimJob
     double arrivalCycles = 0.0;
     /** Priority class, mirroring JobClass: 0 latency, 1 normal, 2 batch. */
     int cls = 1;
+    /** Absolute deadline instant, cycles; 0 = none. Mirrors
+     * JobOptions::deadlineNs: a job whose deadline passes while queued
+     * is skipped at claim time; one that finishes past it resolves
+     * Expired at root return (the deterministic analogue of the
+     * cooperative boundary check). */
+    double deadlineCycles = 0.0;
+    /** Virtual instant a cancel request lands, cycles; 0 = never.
+     * Mirrors JobHandle::cancel(): still-queued at that instant means
+     * skipped at claim; already running means resolved Cancelled at
+     * root return (the sim's fork-join bodies are boundary-dense, so
+     * mid-run cancels always land). */
+    double cancelAtCycles = 0.0;
 };
 
 /** Measured timeline of one job, in machine cycles. */
@@ -45,7 +58,12 @@ struct SimJobStats
 {
     double arrivalCycles = 0.0;
     double startCycles = 0.0;  ///< first scheduled onto a core
-    double finishCycles = 0.0; ///< root frame returned
+    double finishCycles = 0.0; ///< root frame returned (or resolution)
+    /** Terminal outcome, same taxonomy as the threaded engine. */
+    JobOutcome outcome = JobOutcome::Pending;
+    /** Rejected *by the QueueDelay shedder* (outcome is Rejected for
+     * both causes; this bit is the admission-reject vs shed split). */
+    bool shed = false;
 
     double latencyCycles() const { return finishCycles - arrivalCycles; }
     double queueCycles() const { return startCycles - arrivalCycles; }
@@ -59,15 +77,33 @@ struct ServingResult
      * jobs (that waiting is the elastic pool's parking opportunity). */
     SimResult sim;
     std::vector<SimJobStats> jobs;
-    /** Per-job latency in nanoseconds, same histogram the threaded
-     * runtime folds into RuntimeStats::jobLatency. */
+    /** Per-job latency in nanoseconds over *served* (Done) jobs, same
+     * histogram the threaded runtime folds into RuntimeStats. */
     LatencyHist latency;
-    /** Exact percentiles from the sorted per-job latencies, in
+    /** Exact percentiles from the sorted Done-job latencies, in
      * microseconds (the bench gates use these, not the bucketed
      * histogram, so gate noise is purely scheduling). */
     double p50Us = 0.0;
     double p99Us = 0.0;
     double p999Us = 0.0;
+    /** Queue-delay (arrival -> claim) percentiles over jobs a core
+     * actually claimed, microseconds: the overload signal the
+     * QueueDelay policy regulates. */
+    double queueP50Us = 0.0;
+    double queueP99Us = 0.0;
+    /** @name Outcome tallies (jobs.size() = done + expired + cancelled
+     * + rejected; `shed` is the subset of rejected evicted after
+     * admission by the QueueDelay policy). */
+    /// @{
+    uint64_t done = 0;
+    uint64_t expired = 0;
+    uint64_t cancelled = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+    /// @}
+    /** Done jobs per second of elapsed virtual time: the protected
+     * throughput the overload gate bounds from below. */
+    double goodputPerSec = 0.0;
 };
 
 /** Seeded arrival-time generator configuration. */

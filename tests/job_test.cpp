@@ -172,26 +172,60 @@ TEST(JobQueue, PopsHigherClassFirstThenFifo)
 {
     JobQueue q;
     EXPECT_TRUE(q.empty());
-    EXPECT_EQ(q.tryPop(), nullptr);
+    EXPECT_FALSE(q.tryPop().valid());
     // TaskBase pointers are opaque to the queue; tag with fake
-    // addresses.
+    // addresses. Each entry carries a real JobState (the class rides
+    // on it since PR 7).
     auto tag = [](uintptr_t v) {
         return reinterpret_cast<TaskBase *>(v);
     };
-    q.push(tag(0xB1), JobClass::Batch);
-    q.push(tag(0xA1), JobClass::Normal);
-    q.push(tag(0xC1), JobClass::Latency);
-    q.push(tag(0xC2), JobClass::Latency);
-    q.push(tag(0xA2), JobClass::Normal);
+    auto push = [&q, &tag](uintptr_t v, JobClass cls) {
+        auto state = std::make_shared<JobState>();
+        state->opts.cls = cls;
+        q.push(tag(v), std::move(state));
+    };
+    push(0xB1, JobClass::Batch);
+    push(0xA1, JobClass::Normal);
+    push(0xC1, JobClass::Latency);
+    push(0xC2, JobClass::Latency);
+    push(0xA2, JobClass::Normal);
     EXPECT_FALSE(q.empty());
     EXPECT_EQ(q.pushes(), 5u);
-    EXPECT_EQ(q.tryPop(), tag(0xC1));
-    EXPECT_EQ(q.tryPop(), tag(0xC2));
-    EXPECT_EQ(q.tryPop(), tag(0xA1));
-    EXPECT_EQ(q.tryPop(), tag(0xA2));
-    EXPECT_EQ(q.tryPop(), tag(0xB1));
+    EXPECT_EQ(q.laneDepth(static_cast<int>(JobClass::Latency)), 2);
+    EXPECT_EQ(q.laneDepth(static_cast<int>(JobClass::Normal)), 2);
+    EXPECT_EQ(q.laneDepth(static_cast<int>(JobClass::Batch)), 1);
+    EXPECT_EQ(q.tryPop().root, tag(0xC1));
+    EXPECT_EQ(q.tryPop().root, tag(0xC2));
+    EXPECT_EQ(q.tryPop().root, tag(0xA1));
+    EXPECT_EQ(q.tryPop().root, tag(0xA2));
+    EXPECT_EQ(q.tryPop().root, tag(0xB1));
     EXPECT_TRUE(q.empty());
-    EXPECT_EQ(q.tryPop(), nullptr);
+    EXPECT_FALSE(q.tryPop().valid());
+}
+
+TEST(JobQueue, ShedVictimComesFromLowestClassFirst)
+{
+    JobQueue q;
+    EXPECT_FALSE(q.popShedVictim().valid());
+    auto tag = [](uintptr_t v) {
+        return reinterpret_cast<TaskBase *>(v);
+    };
+    auto push = [&q, &tag](uintptr_t v, JobClass cls) {
+        auto state = std::make_shared<JobState>();
+        state->opts.cls = cls;
+        q.push(tag(v), std::move(state));
+    };
+    push(0xC1, JobClass::Latency);
+    push(0xB1, JobClass::Batch);
+    push(0xB2, JobClass::Batch);
+    push(0xA1, JobClass::Normal);
+    // Batch first (FIFO within the lane), then Normal, then — only
+    // when nothing lower remains — Latency.
+    EXPECT_EQ(q.popShedVictim().root, tag(0xB1));
+    EXPECT_EQ(q.popShedVictim().root, tag(0xB2));
+    EXPECT_EQ(q.popShedVictim().root, tag(0xA1));
+    EXPECT_EQ(q.popShedVictim().root, tag(0xC1));
+    EXPECT_TRUE(q.empty());
 }
 
 // ---------------------------------------------------------------------
