@@ -67,6 +67,13 @@ KEY_FIELDS = (
     # arrival stream identify the scenario.
     "shed",
     "deadline_frac",
+    # Preemption rows: the scenario name plus which knobs are on.
+    # (aging_us itself is a measurement: the threaded step is
+    # calibrated from the host's mean job time each run.)
+    "scenario",
+    "preempt",
+    "aging",
+    "unpark_pct",
 )
 # Measurements worth a trajectory line, in print order.
 METRICS = (
@@ -106,6 +113,11 @@ GATE_TOLERANCE_BY_REPORT = {
     # host's scheduling jitter; the bench's own gates already bound the
     # ratios that matter (latency protection, goodput, collapse).
     "BENCH_overload.json": 0.25,
+    # Preemption rows share the overload rows' saturation methodology
+    # (open-loop streams at calibrated rates); the bench's own gates
+    # bound the latency/aging/unpark properties byte-deterministically
+    # in the sim.
+    "BENCH_preempt.json": 0.25,
 }
 
 

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Compile-check the C++ snippets in the docs and validate doc links.
+
+Documentation drifts the moment nobody executes it. This script keeps
+the prose honest two ways:
+
+1. **Snippet compile check.** Every fenced block tagged ```` ```cpp ````
+   in README.md and docs/*.md is extracted, wrapped into a translation
+   unit, and compiled with ``$CXX -fsyntax-only -std=c++17 -I src``
+   against the *real* headers — a renamed knob, a dropped method, or a
+   changed signature breaks the doc build the same way it would break a
+   user. The discipline for doc authors:
+
+   - ```` ```cpp ```` — must compile. The harness hoists any
+     ``#include`` lines to the top of the unit, prepends
+     ``#include "numaws.h"`` and ``using namespace numaws;``, and
+     compiles the rest first as a top-level unit (snippets that define
+     functions), then — if that fails — wrapped in a function body
+     (statement-level snippets). Snippets must be self-contained:
+     declare the variables you use.
+   - ```` ```c++ ```` — illustrative only (pseudo-code, elided bodies);
+     rendered identically by GitHub but *not* compiled.
+   - Any other tag (```` ```sh ````, ```` ```text ````, untagged) —
+     not compiled.
+
+2. **Link check.** Every relative markdown link ``[text](path#anchor)``
+   in the scanned files must point at an existing file, and the
+   ``#anchor`` (if any) must match a heading in the target file under
+   GitHub's slugification rules. Absolute ``http(s)://`` links are not
+   fetched.
+
+Exit is nonzero on any failure; per-snippet compiler output is echoed
+so CI logs point at the offending doc block by file and line.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Files scanned for snippets and links, relative to the repo root.
+DOC_FILES = ["README.md"] + sorted(
+    os.path.join("docs", n)
+    for n in (os.listdir(os.path.join(REPO, "docs"))
+              if os.path.isdir(os.path.join(REPO, "docs")) else [])
+    if n.endswith(".md")
+)
+
+FENCE_RE = re.compile(r"^```(\S*)\s*$")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def extract_fences(lines):
+    """Yield (tag, start_line_1based, [body lines]) for each fence."""
+    tag, start, body = None, 0, []
+    for i, line in enumerate(lines, 1):
+        m = FENCE_RE.match(line)
+        if m and tag is None:
+            tag, start, body = m.group(1), i, []
+        elif line.rstrip() == "```" and tag is not None:
+            yield tag, start, body
+            tag = None
+        elif tag is not None:
+            body.append(line)
+
+
+def snippet_units(body):
+    """Candidate translation units for a snippet, tried in order:
+    top-level (function/type definitions), then statement-wrapped."""
+    includes, rest = [], []
+    for line in body:
+        (includes if line.lstrip().startswith("#include") else
+         rest).append(line)
+    prelude = ['#include "numaws.h"']
+    for inc in includes:
+        if inc.strip() != '#include "numaws.h"':
+            prelude.append(inc)
+    prelude.append("using namespace numaws;")
+    top = prelude + [""] + rest + [""]
+    wrapped = prelude + ["", "void doc_snippet() {"]
+    wrapped += ["  " + s if s.strip() else s for s in rest]
+    wrapped += ["}", ""]
+    return ["\n".join(top), "\n".join(wrapped)]
+
+
+def try_compile(cxx, unit):
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".cc", delete=False
+    ) as tmp:
+        tmp.write(unit)
+        tmp_path = tmp.name
+    try:
+        return subprocess.run(
+            [cxx, "-fsyntax-only", "-std=c++17",
+             "-I", os.path.join(REPO, "src"), tmp_path],
+            capture_output=True, text=True,
+        )
+    finally:
+        os.unlink(tmp_path)
+
+
+def compile_snippets():
+    cxx = os.environ.get("CXX", "c++")
+    failures = 0
+    checked = 0
+    for rel in DOC_FILES:
+        path = os.path.join(REPO, rel)
+        with open(path) as f:
+            lines = f.read().splitlines()
+        for tag, start, body in extract_fences(lines):
+            if tag != "cpp":
+                continue
+            checked += 1
+            procs = []
+            for unit in snippet_units(body):
+                proc = try_compile(cxx, unit)
+                procs.append((unit, proc))
+                if proc.returncode == 0:
+                    break
+            if procs[-1][1].returncode != 0:
+                failures += 1
+                unit, proc = procs[0]  # top-level attempt's diagnostics
+                print("FAIL %s:%d snippet does not compile:"
+                      % (rel, start))
+                print("  --- snippet as compiled (top-level form) ---")
+                for line in unit.splitlines():
+                    print("  | " + line)
+                for line in (proc.stderr or proc.stdout).splitlines():
+                    print("  " + line)
+            else:
+                print("ok   %s:%d" % (rel, start))
+    print("snippets: %d checked, %d failed" % (checked, failures))
+    return failures
+
+
+def slugify(heading):
+    """GitHub's anchor slug for a markdown heading."""
+    # Strip inline code/emphasis markers (GitHub keeps literal
+    # underscores), lower, spaces to hyphens, drop everything that is
+    # not alnum/hyphen/underscore.
+    text = re.sub(r"[`*]", "", heading).strip().lower()
+    text = text.replace(" ", "-")
+    return re.sub(r"[^0-9a-z\-_]", "", text)
+
+
+def anchors_of(path):
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path) as f:
+        for line in f.read().splitlines():
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = slugify(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else "%s-%d" % (slug, n))
+    return slugs
+
+
+def check_links():
+    failures = 0
+    checked = 0
+    for rel in DOC_FILES:
+        path = os.path.join(REPO, rel)
+        with open(path) as f:
+            lines = f.read().splitlines()
+        in_fence = False
+        for i, line in enumerate(lines, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                    continue  # http:, https:, mailto: — not checked
+                checked += 1
+                frag = None
+                base = target
+                if "#" in target:
+                    base, frag = target.split("#", 1)
+                if base:
+                    dest = os.path.normpath(
+                        os.path.join(os.path.dirname(path), base))
+                else:
+                    dest = path  # same-file anchor
+                if not os.path.exists(dest):
+                    failures += 1
+                    print("FAIL %s:%d broken link target: %s"
+                          % (rel, i, target))
+                    continue
+                if frag is not None and dest.endswith(".md"):
+                    if frag not in anchors_of(dest):
+                        failures += 1
+                        print("FAIL %s:%d missing anchor: %s"
+                              % (rel, i, target))
+    print("links: %d checked, %d failed" % (checked, failures))
+    return failures
+
+
+def main():
+    missing = [rel for rel in DOC_FILES
+               if not os.path.exists(os.path.join(REPO, rel))]
+    if missing:
+        print("FAIL missing doc files: %s" % ", ".join(missing))
+        return 1
+    failed = compile_snippets() + check_links()
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,9 +18,17 @@
  * running it* — a queued root whose cancel or deadline fires is skipped
  * at claim time — or unwind a running one cooperatively: TaskGroup's
  * spawn/sync boundaries observe the job's CancelToken and throw the
- * internal JobCancelled signal, so deep fork-join trees unwind promptly
- * without preemption. A body that never reaches another boundary simply
- * finishes (Done wins a finish-vs-cancel race).
+ * internal JobCancelled signal, so deep fork-join trees unwind promptly.
+ * A body that never reaches another boundary simply finishes (Done wins
+ * a finish-vs-cancel race).
+ *
+ * Those same spawn/sync boundaries also host *latency-class preemption*
+ * (ServingPolicy::preempt): a worker whose StealCore carries a raised
+ * yield directive checkpoints the running job — its just-pushed child
+ * stays on the deque as the stealable continuation — and runs a
+ * strictly-higher-class queued job to completion nested on the same
+ * stack before resuming, so a Latency job admitted under Batch
+ * saturation waits for one task body, not one whole job.
  */
 #ifndef NUMAWS_RUNTIME_JOB_H
 #define NUMAWS_RUNTIME_JOB_H

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 
 #include "runtime/job.h"
 #include "support/spin_lock.h"
@@ -62,6 +63,26 @@ class JobQueue
      * (Batch before Normal before Latency), or invalid. The QueueDelay
      * policy's graceful-degradation order. */
     QueuedJob popShedVictim();
+
+    /** Claim the oldest entry of one specific lane, or invalid. Claim
+     * loops that rank lanes by *effective* class (priority aging) pick
+     * the lane first, then pop from it directly. */
+    QueuedJob
+    tryPopLane(int cls)
+    {
+        return popFromLane(_lanes[cls]);
+    }
+
+    /** Submit timestamp (ns) of @p cls's oldest queued job, or -1 when
+     * the lane is empty — the head-wait signal priority aging ranks
+     * lanes by. Takes the lane lock; claim-path only, never spawn. */
+    int64_t
+    headSubmitNs(int cls)
+    {
+        Lane &lane = _lanes[cls];
+        std::lock_guard<SpinLock> g(lane.lock);
+        return lane.q.empty() ? -1 : lane.q.front().state->submitNs;
+    }
 
     /** Fast dry check (one atomic load; see file comment for the
      * transient-staleness contract). */

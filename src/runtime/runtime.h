@@ -157,6 +157,10 @@ struct WorkerCounters
     uint64_t escalations = 0;        ///< hierarchical level widenings
     uint64_t levelSkips = 0;         ///< dry levels skipped via the board
     uint64_t dryPolls = 0;           ///< probes skipped on a dry board
+    uint64_t yields = 0;             ///< preemption yields serviced
+    /** Jobs claimed at an aged (promoted) effective class — the
+     * priority-aging counter, bumped runtime-wide by takeJobAbove. */
+    uint64_t agedClaims = 0;
     /** @name Task-frame pool counters
      * Maintained by each worker's TaskFramePool and folded in by
      * Runtime::stats() via Worker::foldPoolCounters. framesRecycled /
@@ -311,6 +315,33 @@ class Worker
      * view. */
     JobState *currentJob() const { return _currentJob; }
 
+    /** @name Cooperative preemption (ServingPolicy::preempt) */
+    /// @{
+    /** Class of the job this worker is executing, -1 on the idle path.
+     * Maintained by executeTask (only when preemption is enabled) so
+     * the admission path can pick a preemption victim without touching
+     * the workers' hot state. */
+    int8_t
+    runningCls() const
+    {
+        return _runningCls.load(std::memory_order_relaxed);
+    }
+
+    /** Spawn/sync boundary peek: preemption on and a yield raised.
+     * One cached bool plus one relaxed load — the work-first price. */
+    bool
+    yieldPending() const
+    {
+        return _preemptEnabled && _core.yieldRequested();
+    }
+
+    /** Consume the yield directive and, if a strictly higher-class job
+     * is queued, run it inline before returning to the preempted job.
+     * The preempted job's deque-resident children stay stealable
+     * throughout — that is its checkpointed continuation. */
+    void serviceYield();
+    /// @}
+
     WorkerCounters &counters() { return _counters; }
     TimeSplit &timeSplit() { return _time; }
     /** Fold the StealCore decision counters into @p into
@@ -323,6 +354,7 @@ class Worker
         into.dryPolls += c.dryPolls;
         into.levelSkips += c.levelSkips;
         into.escalations += c.escalations;
+        into.yields += c.yields;
     }
     /** Fold the task-frame pool counters into @p into (Runtime::stats). */
     void
@@ -475,6 +507,13 @@ class Worker
     /** Job of the task being executed (see currentJob()); saved and
      * restored across nested executeTask like _currentHint. */
     JobState *_currentJob = nullptr;
+    /** Cached _options.sched.serving.preempt: the boundary peek must
+     * not chase the options pointer on every spawn. */
+    bool _preemptEnabled = false;
+    /** Published running-job class for preemption victim selection
+     * (see runningCls()); written by executeTask, read by admitting
+     * threads. Only maintained when _preemptEnabled. */
+    std::atomic<int8_t> _runningCls{-1};
     WsDeque<TaskBase> _deque;
     Mailbox<TaskBase> _mailbox;
     /** NUMA-local frame recycler behind the allocation-free spawn
@@ -601,6 +640,21 @@ class Runtime
      * and resolves cancelled / past-deadline entries without running
      * them, returning the first live root (or null). */
     TaskBase *takeJob();
+    /**
+     * takeJob restricted to jobs whose *effective* class (nominal
+     * class promoted by priority aging, ShedCore::effectiveClass)
+     * is strictly better than @p below_cls: the preemption claim —
+     * a yielding worker must only suspend its job for strictly
+     * higher-priority work. takeJob() is takeJobAbove(kNumJobClasses),
+     * so idle claims rank lanes by effective class too (that ordering
+     * *is* priority aging; with agingWaitUs off it degenerates to the
+     * strict nominal order).
+     */
+    TaskBase *takeJobAbove(int below_cls);
+    /** Admission edge of class @p cls: if preemption is on and every
+     * worker is busy with lower-class work, raise the yield directive
+     * on the chosen victim (StealCore::pickPreemptVictim). */
+    void maybePreempt(int cls);
     /** The overload-decision brain shared with the simulator
      * (tests/diagnostics). */
     const ShedCore &shedCore() const { return _shed; }
@@ -664,6 +718,9 @@ class Runtime
     std::atomic<uint64_t> _jobsSubmitted{0};
     /** Round-robin cursor for unhinted admission wakes. */
     std::atomic<uint32_t> _admitCursor{0};
+    /** Jobs claimed at an aged effective class (priority aging
+     * telemetry); folded into WorkerCounters::agedClaims by stats(). */
+    std::atomic<uint64_t> _agedClaims{0};
     JobQueue _jobQueue;
     /** Admission-control / shedding decisions (sched/shed_core.h);
      * construction-initialized from _options.sched.serving. */
@@ -756,6 +813,13 @@ TaskGroup::spawn(F &&fn, Place place, const void *data,
     onChildStart();
     ++w->counters().spawns;
     w->pushTask(task);
+    // Preemption boundary: the child just pushed is this job's
+    // checkpointed continuation — it sits on the deque where thieves
+    // can claim it — so if a higher-class job is waiting, run it
+    // inline now and resume the spawner afterwards. One cached bool
+    // when preemption is off (work-first).
+    if (w->yieldPending())
+        w->serviceYield();
 }
 
 template <typename F>

@@ -107,6 +107,8 @@ Runtime::stats() const
         w->foldJobHists(s);
         s.time.merge(const_cast<Worker &>(*w).timeSplit());
     }
+    s.counters.agedClaims +=
+        _agedClaims.load(std::memory_order_relaxed);
     for (int c = 0; c < kNumJobClasses; ++c) {
         const AtomicOutcomeCounts &o = _outcomes[c];
         JobOutcomeCounts &d = s.jobOutcomes[c];
@@ -132,6 +134,7 @@ Runtime::resetStats()
         w->framePool().resetCounters();
         w->timeSplit() = TimeSplit{};
     }
+    _agedClaims.store(0, std::memory_order_relaxed);
     for (AtomicOutcomeCounts &o : _outcomes) {
         o.done.store(0, std::memory_order_relaxed);
         o.failed.store(0, std::memory_order_relaxed);
@@ -217,17 +220,60 @@ Runtime::notifyAdmission(Place place)
 TaskBase *
 Runtime::takeJob()
 {
+    return takeJobAbove(kNumJobClasses);
+}
+
+TaskBase *
+Runtime::takeJobAbove(int below_cls)
+{
     // The claim loop is the dequeue-side overload gate: every popped
     // entry feeds the queue-delay estimator, and cancelled or
     // past-deadline entries resolve here without ever running — their
     // roots are deleted (the state survives via QueuedJob's shared_ptr
     // for the resolution) and the scan continues to the next entry.
+    const bool aging = _options.sched.serving.agingWaitUs > 0;
+    const int scan =
+        below_cls < kNumJobClasses ? below_cls : kNumJobClasses;
     for (;;) {
-        QueuedJob job = _jobQueue.tryPop();
-        if (!job.valid())
+        if (_jobQueue.empty())
             return nullptr;
-        JobState &s = *job.state;
         const int64_t now = nowNs();
+        QueuedJob job;
+        bool promoted = false;
+        if (!aging) {
+            // Aging off: effective class == nominal class, so the
+            // rank-by-effective scan below degenerates to this strict
+            // priority order without the per-lane head peeks.
+            for (int c = 0; c < scan && !job.valid(); ++c)
+                job = _jobQueue.tryPopLane(c);
+            if (!job.valid())
+                return nullptr;
+        } else {
+            // Rank nonempty lanes by effective class — each lane's
+            // nominal class promoted by its head job's wait
+            // (ShedCore::effectiveClass) — with the nominal order
+            // breaking ties, so a starved Batch lane eventually
+            // outranks a saturated Latency lane.
+            int best = -1;
+            int best_eff = below_cls;
+            for (int c = 0; c < kNumJobClasses; ++c) {
+                const int64_t head = _jobQueue.headSubmitNs(c);
+                if (head < 0)
+                    continue;
+                const int eff = _shed.effectiveClass(c, now - head);
+                if (eff < best_eff) {
+                    best_eff = eff;
+                    best = c;
+                }
+            }
+            if (best < 0)
+                return nullptr;
+            job = _jobQueue.tryPopLane(best);
+            if (!job.valid())
+                continue; // lost the lane to a concurrent claimer
+            promoted = best_eff < best;
+        }
+        JobState &s = *job.state;
         _shed.observeDelay(static_cast<int>(s.opts.cls),
                            now - s.submitNs);
         if (s.cancelRequested.load(std::memory_order_acquire)) {
@@ -240,8 +286,27 @@ Runtime::takeJob()
             resolveUnrun(s, JobOutcome::Expired, /*was_active=*/true);
             continue;
         }
+        if (promoted)
+            _agedClaims.fetch_add(1, std::memory_order_relaxed);
         return job.root;
     }
+}
+
+void
+Runtime::maybePreempt(int cls)
+{
+    if (!_options.sched.serving.preempt)
+        return;
+    // Snapshot each worker's running class; an idle worker (-1) makes
+    // the victim pick abstain — the admission wake is already enough.
+    const int n = static_cast<int>(_workers.size());
+    std::vector<int8_t> running(static_cast<std::size_t>(n));
+    for (int w = 0; w < n; ++w)
+        running[static_cast<std::size_t>(w)] = _workers[w]->runningCls();
+    const int victim =
+        StealCore::pickPreemptVictim(cls, running.data(), n);
+    if (victim >= 0)
+        _workers[victim]->core().requestYield();
 }
 
 void
@@ -257,6 +322,7 @@ Runtime::enqueueJob(TaskBase *root, std::shared_ptr<JobState> state)
     // were empty the arrival is the server's next unit of work, and
     // evicting it would starve a busy-but-drained server.
     const bool standing = !_jobQueue.empty();
+    const int cls = static_cast<int>(state->opts.cls);
     _jobQueue.push(root, std::move(state));
     if (standing && _shed.overloaded()) {
         QueuedJob victim = _jobQueue.popShedVictim();
@@ -266,7 +332,17 @@ Runtime::enqueueJob(TaskBase *root, std::shared_ptr<JobState> state)
                          /*was_active=*/true);
         }
     }
-    notifyAdmission(place);
+    // Cooperative preemption: if every worker is busy with lower-class
+    // work, ask the lowest-priority one to yield at its next boundary.
+    maybePreempt(cls);
+    // Shed-aware elastic unpark: once any class's delay EWMA reaches
+    // the configured lead fraction of its shed target, escalate from
+    // one targeted wake to waking every parked worker — capacity
+    // arrives before the shed threshold crosses, not after.
+    if (_shed.unparkPressure())
+        notifyWork();
+    else
+        notifyAdmission(place);
 }
 
 void

@@ -10,7 +10,12 @@
  * NUMA-WS *mechanism* is retained at task granularity: the place hint with
  * inheritance, the stolen flag (the shadow-frame -> full-frame promotion
  * analogue), and the pushback counter that enforces the constant pushing
- * threshold. The simulator (src/sim) models true continuation stealing.
+ * threshold. Task granularity is also what makes the serving mode's
+ * cooperative controls possible in a library: spawn/sync boundaries are
+ * the points where a running job observes cancellation and where a
+ * raised yield directive preempts it in favor of a higher-class job
+ * (runtime.h's TaskGroup::spawn, worker.cc's serviceYield). The
+ * simulator (src/sim) models true continuation stealing.
  */
 #ifndef NUMAWS_RUNTIME_TASK_H
 #define NUMAWS_RUNTIME_TASK_H

@@ -43,6 +43,13 @@ TaskGroup::sync()
     if (JobState *job = w->currentJob();
         job != nullptr && jobInterrupted(*job))
         throw JobCancelled{};
+
+    // Preemption boundary, after the join for the same reason: the
+    // nested higher-class job runs while *this* job is at a quiescent
+    // point (no outstanding children in this group), so the yield can
+    // never deadlock the join it sits behind.
+    if (w->yieldPending())
+        w->serviceYield();
 }
 
 void

@@ -29,6 +29,8 @@ WorkerCounters::merge(const WorkerCounters &o)
     escalations += o.escalations;
     levelSkips += o.levelSkips;
     dryPolls += o.dryPolls;
+    yields += o.yields;
+    agedClaims += o.agedClaims;
     framesRecycled += o.framesRecycled;
     remoteFrees += o.remoteFrees;
     slabBytes += o.slabBytes;
@@ -67,6 +69,9 @@ Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
         if (pol.boardParking())
             _mailbox.attachParking(&runtime.parkingLot(), place);
     }
+    // Cached so the spawn-boundary yield peek costs one bool when
+    // preemption is off (the work-first price of the whole feature).
+    _preemptEnabled = pol.serving.preempt;
 }
 
 Worker *
@@ -314,6 +319,15 @@ Worker::executeTask(TaskBase *task)
     // nested helping restores the helper's own job afterwards.
     JobState *const prev_job = _currentJob;
     _currentJob = task->job();
+    // Publish the running class for preemption victim selection (the
+    // nested restore below re-publishes the preempted job's class when
+    // an inline higher-class job finishes).
+    if (_preemptEnabled)
+        _runningCls.store(
+            _currentJob != nullptr
+                ? static_cast<int8_t>(_currentJob->opts.cls)
+                : static_cast<int8_t>(-1),
+            std::memory_order_relaxed);
     ++_counters.tasksExecuted;
     if (_runtime.options().sched.affinityTracking())
         noteAffinity(task);
@@ -331,6 +345,12 @@ Worker::executeTask(TaskBase *task)
 
     _currentHint = prev_hint;
     _currentJob = prev_job;
+    if (_preemptEnabled)
+        _runningCls.store(
+            prev_job != nullptr
+                ? static_cast<int8_t>(prev_job->opts.cls)
+                : static_cast<int8_t>(-1),
+            std::memory_order_relaxed);
     if (task->group() != nullptr)
         task->group()->onChildDone();
     // Frame release sits on both the normal and the exception path
@@ -349,6 +369,31 @@ Worker::executeTask(TaskBase *task)
     } else {
         ++_unsampledTasks;
     }
+}
+
+void
+Worker::serviceYield()
+{
+    // Consume the directive exactly once (another boundary — or another
+    // admission's re-raise — may race us; the exchange arbitrates).
+    if (!_core.takeYieldRequest())
+        return;
+    // Only a job of *strictly higher* effective class may interrupt:
+    // claiming our own class would add latency for nothing, and a
+    // stray directive on an idle-ish worker (no current job) just
+    // claims like the idle path does.
+    const int below = _runningCls.load(std::memory_order_relaxed);
+    TaskBase *t =
+        _runtime.takeJobAbove(below >= 0 ? below : kNumJobClasses);
+    if (t == nullptr)
+        return; // the job was claimed, cancelled, or shed meanwhile
+    _core.noteYieldServiced();
+    // Run the higher-class job nested, right here: executeTask saves
+    // and restores this worker's job context, and the preempted job's
+    // just-pushed child stays on our deque — stealable by anyone —
+    // which is exactly its checkpointed continuation. When the nested
+    // job returns, control falls back into the preempted task body.
+    executeTask(t);
 }
 
 void

@@ -179,6 +179,32 @@ struct ServingPolicy
     int queueDelayTargetUs[kNumServingClasses] = {1000, 5000, 20000};
     /** EWMA weight = 1/2^shift (3 == 1/8, a few claims to converge). */
     int queueDelayEwmaShift = 3;
+    /**
+     * Cooperative latency-class preemption: when a job is admitted
+     * while every worker runs lower-class (higher-numbered) work,
+     * StealCore raises a per-worker yield directive that the running
+     * job's spawn/sync boundaries service — the worker checkpoints its
+     * continuation onto its own deque (where thieves can still claim
+     * it) and runs the higher-class job inline, bounding that job's
+     * queue wait by one task body instead of one whole job. Off by
+     * default: the spawn path then pays nothing (work-first).
+     */
+    bool preempt = false;
+    /**
+     * Priority aging: a lane whose head job has waited k *
+     * agingWaitUs rises k effective classes at claim time (floored at
+     * class 0), so a saturated higher lane cannot starve Batch forever
+     * under Reject. 0 disables aging (claims use nominal class order).
+     */
+    int agingWaitUs = 0;
+    /**
+     * Shed-aware elastic unpark: when any class's claim-delay EWMA
+     * reaches this percentage of its QueueDelay target, admissions
+     * escalate from a single targeted wake to waking every parked
+     * worker — capacity arrives *before* the shed threshold crosses
+     * rather than after. 0 disables; 100 waits for the crossing itself.
+     */
+    int unparkLeadPct = 0;
 };
 
 /**

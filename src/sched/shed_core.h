@@ -98,6 +98,54 @@ class ShedCore
         return v == kUnseeded ? 0 : v;
     }
 
+    /**
+     * Priority aging (ServingPolicy::agingWaitUs): the effective class
+     * of a lane whose head job has waited @p headWaitNs. Every full
+     * agingWaitUs of head wait promotes the lane one class toward 0,
+     * so a starved Batch lane eventually outranks a saturated Latency
+     * lane at claim time. Monotonic in headWaitNs, floored at class 0,
+     * and the identity when aging is off or the wait is non-positive —
+     * claim order is then exactly the nominal strict-priority order.
+     */
+    int
+    effectiveClass(int cls, int64_t headWaitNs) const
+    {
+        NUMAWS_ASSERT(cls >= 0 && cls < kNumServingClasses);
+        if (_policy.agingWaitUs <= 0 || headWaitNs <= 0)
+            return cls;
+        const int64_t step_ns =
+            static_cast<int64_t>(_policy.agingWaitUs) * 1000;
+        const int64_t steps = headWaitNs / step_ns;
+        if (steps >= static_cast<int64_t>(cls))
+            return 0;
+        return cls - static_cast<int>(steps);
+    }
+
+    /**
+     * Shed-aware unpark (ServingPolicy::unparkLeadPct): true when any
+     * class's claim-delay EWMA has reached leadPct% of its QueueDelay
+     * target — the early-warning signal the elastic pool uses to wake
+     * every parked worker *before* overloaded() crosses. Always false
+     * when the knob is 0 or the policy has no QueueDelay targets.
+     */
+    bool
+    unparkPressure() const
+    {
+        if (_policy.unparkLeadPct <= 0
+            || _policy.shed != ShedPolicy::QueueDelay)
+            return false;
+        for (int c = 0; c < kNumServingClasses; ++c) {
+            const int64_t target_ns =
+                static_cast<int64_t>(_policy.queueDelayTargetUs[c])
+                * 1000;
+            if (target_ns > 0
+                && delayEwmaNs(c) * 100
+                       >= target_ns * _policy.unparkLeadPct)
+                return true;
+        }
+        return false;
+    }
+
     /** QueueDelay only: is any class's claim-delay EWMA above its
      * target? While true, each admission sheds one job from the lowest
      * nonempty lane (the engine owns the lanes and does the pop). */

@@ -112,6 +112,28 @@ StealCore::beginPushback(int64_t own_deque_depth)
 }
 
 int
+StealCore::pickPreemptVictim(int cls, const int8_t *runningCls, int n)
+{
+    NUMAWS_ASSERT(cls >= 0 && cls < kNumServingClasses);
+    // An idle worker means the admission wake already has a taker:
+    // preempting anyone would run the job no sooner and cost a yield.
+    for (int w = 0; w < n; ++w)
+        if (runningCls[w] < 0)
+            return -1;
+    // Otherwise yield the worker running the lowest-priority class
+    // strictly below the admitted job's (numerically greater); lowest
+    // index on ties so both engines pick the same victim.
+    int victim = -1;
+    int worst = cls;
+    for (int w = 0; w < n; ++w)
+        if (runningCls[w] > worst) {
+            worst = runningCls[w];
+            victim = w;
+        }
+    return victim;
+}
+
+int
 StealCore::pickPushReceiver(int first, int last, int self_in_range,
                             int target_socket)
 {

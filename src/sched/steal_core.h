@@ -21,13 +21,16 @@
  * this code with real threads (the sim feeds its virtual clock and
  * seeded RNG through the same transitions).
  *
- * Thread safety: none. A StealCore is owned by one worker/simulated
- * core; the board it reads is the engines' concurrent structure and
- * carries its own contract (sched/occupancy.h).
+ * Thread safety: none, with one deliberate exception — the yield
+ * directive (requestYield / yieldRequested / takeYieldRequest) is an
+ * atomic flag raised by *another* thread (the admitting submitter in
+ * the threaded engine) and consumed by the owner at its next
+ * spawn/sync boundary. Everything else is owner-only.
  */
 #ifndef NUMAWS_SCHED_STEAL_CORE_H
 #define NUMAWS_SCHED_STEAL_CORE_H
 
+#include <atomic>
 #include <cstdint>
 
 #include "sched/policy.h"
@@ -167,6 +170,38 @@ struct StealCoreCounters
     uint64_t dryPolls = 0;      ///< probes replaced by a dry board poll
     uint64_t levelSkips = 0;    ///< dry levels skipped via the board
     uint64_t escalations = 0;   ///< hierarchical level widenings
+    uint64_t yields = 0;        ///< preemption yields serviced
+};
+
+/**
+ * Copyable atomic flag for the cross-thread yield directive. StealCore
+ * must stay copy-assignable (the simulator re-seeds cores by
+ * assignment), which a raw std::atomic member would delete; copying
+ * transfers the current value with relaxed ordering — fine, because
+ * copies only happen while the owning engine is single-threaded
+ * (construction / sim reset), never with a raiser in flight.
+ */
+class AtomicYieldFlag
+{
+  public:
+    AtomicYieldFlag() = default;
+    AtomicYieldFlag(const AtomicYieldFlag &o)
+        : _v(o._v.load(std::memory_order_relaxed))
+    {}
+    AtomicYieldFlag &
+    operator=(const AtomicYieldFlag &o)
+    {
+        _v.store(o._v.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+        return *this;
+    }
+
+    void raise() { _v.store(true, std::memory_order_release); }
+    bool raised() const { return _v.load(std::memory_order_relaxed); }
+    bool take() { return _v.exchange(false, std::memory_order_acq_rel); }
+
+  private:
+    std::atomic<bool> _v{false};
 };
 
 /**
@@ -297,6 +332,38 @@ class StealCore
     void onParkOutcome(bool found_work) { _tuner.observe(found_work); }
     /// @}
 
+    /** @name Cooperative preemption (yield directive) */
+    /// @{
+    /**
+     * Raise the yield directive on this worker: a higher-class job is
+     * queued and this worker is the chosen victim. Called from the
+     * admitting thread; the owner consumes it at its next spawn/sync
+     * boundary via takeYieldRequest().
+     */
+    void requestYield() { _yieldRequested.raise(); }
+
+    /** Cheap boundary-side peek — one relaxed load, nothing else. */
+    bool yieldRequested() const { return _yieldRequested.raised(); }
+
+    /** Consume the directive (exactly one boundary acts on a raise). */
+    bool takeYieldRequest() { return _yieldRequested.take(); }
+
+    /** A consumed directive actually claimed a job (counter credit). */
+    void noteYieldServiced() { ++_counters.yields; }
+
+    /**
+     * Preemption victim among @p n workers whose running job classes
+     * are @p runningCls (-1 == idle / not running a job), for an
+     * admitted job of class @p cls. Returns -1 when any worker is idle
+     * (the admission wake already covers it) or when nobody runs
+     * strictly lower-class (numerically greater) work; otherwise the
+     * worker running the lowest-priority class, lowest index on ties
+     * (deterministic, so both engines agree).
+     */
+    static int pickPreemptVictim(int cls, const int8_t *runningCls,
+                                 int n);
+    /// @}
+
     /** @name Data-home affinity */
     /// @{
     /** Sockets homing the current task's data (bit s == socket s); the
@@ -353,6 +420,8 @@ class StealCore
     /** Consecutive fruitless steps toward the park budget. */
     int _parkFails = 0;
     bool _parkRequested = false;
+    /** Cross-thread yield directive (see the thread-safety note). */
+    AtomicYieldFlag _yieldRequested{};
     StealCoreCounters _counters{};
 };
 

@@ -46,6 +46,8 @@ struct SimCounters
     uint64_t parkedCycles = 0;
     uint64_t boardWakes = 0;     ///< wakeups from a targeted socket edge
     uint64_t spuriousWakeups = 0; ///< wakeups that found a dry board
+    uint64_t yields = 0;         ///< latency-class preemptions serviced
+    uint64_t agedClaims = 0;     ///< job claims won via priority aging
 };
 
 /** Outcome of one simulated run. */
@@ -65,6 +67,14 @@ struct SimResult
 
     SimCounters counters;
     MemCounters memory;
+
+    /** First cycle at which ShedCore::unparkPressure() fired (0 = never):
+     * the shed-aware elastic unpark's early-warning timestamp. */
+    uint64_t firstUnparkPressureCycles = 0;
+    /** First cycle at which a class's delay EWMA actually crossed its
+     * QueueDelay target (0 = never). The unpark-lead gate asserts the
+     * pressure signal fires no later than this crossing. */
+    uint64_t firstShedCrossCycles = 0;
 
     /** Total processing time (work + sched + idle), seconds. */
     double

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <queue>
 
 #include "deque/mailbox.h"
@@ -53,6 +54,17 @@ struct CoreState
      * not enter `deq`.
      */
     std::deque<Continuation> overflow;
+    /**
+     * Checkpointed continuations of preempted jobs, innermost last.
+     * When a Spawn-boundary yield stashes the current continuation
+     * here, its already-pushed deque entries stay stealable (they are
+     * the chain's ancestors — thieves drain them front-first exactly
+     * as usual), while this private stack marks where *this* core must
+     * resume once no strictly-higher-class job remains claimable. The
+     * threaded dual: the worker's C++ stack below a nested
+     * executeTask.
+     */
+    std::deque<Continuation> preempted;
     NextAction next = NextAction::Steal;
     FrameId checkParent = kNoFrame;
     /** The scheduling brain: RNG, escalation, push policy, affinity,
@@ -140,6 +152,7 @@ class Simulation
             NUMAWS_ASSERT(!_jobs->empty());
             _jobStats.resize(_jobs->size());
             _jobOfRoot.assign(dag.numFrames(), -1);
+            _frameJobCls.assign(dag.numFrames(), -1);
             for (std::size_t j = 0; j < _jobs->size(); ++j) {
                 const SimJob &job = (*_jobs)[j];
                 NUMAWS_ASSERT(job.root != kNoFrame);
@@ -149,6 +162,7 @@ class Simulation
                               || (*_jobs)[j - 1].arrivalCycles
                                      <= job.arrivalCycles);
                 _jobOfRoot[job.root] = static_cast<int32_t>(j);
+                _frameJobCls[job.root] = static_cast<int8_t>(job.cls);
             }
         } else {
             // The root computation starts on core 0 (first core of the
@@ -410,6 +424,129 @@ class Simulation
         return false;
     }
 
+    /** Class of the job whose computation frame @p f belongs to:
+     * walk the spawn tree up to a frame with a memoized class (roots
+     * are seeded at construction), then write the answer back down
+     * the path so repeated queries are amortized O(1). Frames are
+     * reached only after their job was claimed, so the walk always
+     * terminates at a seeded root. */
+    int
+    jobClsOfFrame(FrameId f)
+    {
+        FrameId g = f;
+        while (_frameJobCls[g] < 0) {
+            NUMAWS_ASSERT(_dag.frame(g).parent != kNoFrame);
+            g = _dag.frame(g).parent;
+        }
+        const int8_t cls = _frameJobCls[g];
+        for (g = f; _frameJobCls[g] < 0; g = _dag.frame(g).parent)
+            _frameJobCls[g] = cls;
+        return cls;
+    }
+
+    /** Pick the lane Runtime::takeJobAbove would pop: the nonempty
+     * lane with the best *effective* class strictly below @p below —
+     * nominal order when aging is off (byte-identical to the pre-aging
+     * scan), head-wait-promoted order when it is on, nominal class as
+     * the tie-break either way. Returns -1 when nothing qualifies;
+     * @p promoted reports whether aging (not nominal rank) won the
+     * pick. */
+    int
+    pickJobLane(double now, int below, bool &promoted)
+    {
+        promoted = false;
+        if (_cfg.sched.serving.agingWaitUs <= 0) {
+            const int scan = below < kNumJobLanes ? below : kNumJobLanes;
+            for (int lane = 0; lane < scan; ++lane)
+                if (!_jobLanes[lane].empty())
+                    return lane;
+            return -1;
+        }
+        int best = -1;
+        int best_eff = below < kNumJobLanes ? below : kNumJobLanes;
+        for (int lane = 0; lane < kNumJobLanes; ++lane) {
+            if (_jobLanes[lane].empty())
+                continue;
+            const double head =
+                (*_jobs)[_jobLanes[lane].front()].arrivalCycles;
+            const int eff = _shed.effectiveClass(
+                lane,
+                static_cast<int64_t>((now - head) / _machine.ghz()));
+            if (eff < best_eff) {
+                best_eff = eff;
+                best = lane;
+            }
+        }
+        promoted = best >= 0 && best_eff < best;
+        return best;
+    }
+
+    /** Service a raised yield directive at a Spawn boundary (the sim's
+     * Worker::serviceYield): consume the directive — the exchange
+     * arbitrates against re-raises — and, if a job of strictly higher
+     * effective class than the running one is claimable, checkpoint
+     * the current continuation on the preempted stash and return to
+     * the scheduling loop to claim it. A directive whose job was
+     * claimed elsewhere meanwhile expires without effect. */
+    void
+    maybeYield(int core)
+    {
+        CoreState &c = _cores[core];
+        if (!c.brain.takeYieldRequest())
+            return;
+        const int my_cls = jobClsOfFrame(c.cur.frame);
+        bool promoted = false;
+        if (pickJobLane(c.clock, my_cls, promoted) < 0)
+            return;
+        ++_counters.yields;
+        c.preempted.push_back(c.cur);
+        c.cur = Continuation{};
+        c.next = NextAction::Steal;
+    }
+
+    /** Claim one admitted job with effective class strictly below
+     * @p below (the sim's Runtime::takeJobAbove), or nullopt when no
+     * lane qualifies. On a claim the step's cost/charge is returned:
+     * cancelled or past-deadline entries resolve here without running,
+     * one per scheduling step, exactly as before. */
+    std::optional<std::pair<double, Charge>>
+    tryClaimJob(int core, int below)
+    {
+        CoreState &c = _cores[core];
+        bool promoted = false;
+        const int lane_pick = pickJobLane(c.clock, below, promoted);
+        if (lane_pick < 0)
+            return std::nullopt;
+        auto &lane = _jobLanes[lane_pick];
+        const int j = lane.front();
+        lane.pop_front();
+        const SimJob &job = (*_jobs)[j];
+        // Claim-time gate, same order as Runtime::takeJob: every pop
+        // feeds the class's claim-delay EWMA (skipped entries are
+        // evidence of the same queue), then cancelled or past-deadline
+        // entries resolve here without running.
+        _shed.observeDelay(job.cls,
+                           static_cast<int64_t>(
+                               (c.clock - job.arrivalCycles)
+                               / _machine.ghz()));
+        const double at = c.clock + _cfg.mailboxCheckCost;
+        if (job.cancelAtCycles != 0.0 && job.cancelAtCycles <= c.clock) {
+            resolveJobUnrun(j, JobOutcome::Cancelled, /*shed=*/false,
+                            at);
+            return {{_cfg.mailboxCheckCost, Charge::Sched}};
+        }
+        if (job.deadlineCycles != 0.0 && c.clock > job.deadlineCycles) {
+            resolveJobUnrun(j, JobOutcome::Expired, /*shed=*/false, at);
+            return {{_cfg.mailboxCheckCost, Charge::Sched}};
+        }
+        if (promoted)
+            ++_counters.agedClaims;
+        _jobStats[j].startCycles = at;
+        const FrameId root = job.root;
+        c.cur = Continuation{root, _dag.frame(root).itemBegin};
+        return {{_cfg.mailboxCheckCost, Charge::Sched}};
+    }
+
     /** Resolve job @p j without running it — admission reject, shed
      * victim, or claim-time skip — at virtual instant @p at. The sim's
      * Runtime::resolveUnrun: every job resolves exactly once, so the
@@ -468,8 +605,51 @@ class Simulation
                 break;
             }
         }
+        // First-crossing instrumentation for the unpark-lead gate: when
+        // did the early-warning pressure signal first fire, and when did
+        // a delay EWMA first actually cross its shed target?
+        if (_firstShedCross == 0.0 && _shed.overloaded())
+            _firstShedCross = job.arrivalCycles;
+        if (_firstUnparkPressure == 0.0 && _shed.unparkPressure())
+            _firstUnparkPressure = job.arrivalCycles;
+        // Latency-class preemption (Runtime::enqueueJob's maybePreempt):
+        // when no core is idle and some core runs a strictly lower
+        // class, raise the yield directive on the worst such core; its
+        // next Spawn boundary checkpoints and claims this job.
+        if (_cfg.sched.serving.preempt) {
+            std::vector<int8_t> running(
+                static_cast<std::size_t>(_numCores));
+            for (int w = 0; w < _numCores; ++w) {
+                const CoreState &c = _cores[w];
+                running[static_cast<std::size_t>(w)] =
+                    c.cur.valid()
+                        ? static_cast<int8_t>(
+                              jobClsOfFrame(c.cur.frame))
+                        : static_cast<int8_t>(-1);
+            }
+            const int victim = StealCore::pickPreemptVictim(
+                job.cls, running.data(), _numCores);
+            if (victim >= 0)
+                _cores[victim].brain.requestYield();
+        }
         if (!parkingModeled() || !_cfg.sched.boardParking())
             return; // timer parking relies on its fallback, as the runtime
+        const double at = job.arrivalCycles + _cfg.wakeLatencyCycles;
+        // Shed-aware elastic unpark: standing pressure means the pool is
+        // underprovisioned *now*, so escalate the targeted admission
+        // wake to every parked core (Runtime::enqueueJob's notifyWork
+        // escalation), paying wake latency before the shed threshold
+        // crosses instead of after.
+        if (_shed.unparkPressure()) {
+            for (int w = 0; w < _numCores; ++w) {
+                CoreState &c = _cores[w];
+                if (c.parked && at < c.nextWakeAt) {
+                    c.boardWakePending = true;
+                    schedule(w, at);
+                }
+            }
+            return;
+        }
         const int sockets = _machine.numSockets();
         const Place p = _dag.frame(job.root).place;
         int socket;
@@ -479,7 +659,6 @@ class Simulation
             socket = static_cast<int>(_admitCursor++
                                       % static_cast<uint32_t>(sockets));
         }
-        const double at = job.arrivalCycles + _cfg.wakeLatencyCycles;
         const auto [first, last] = coresOfSocket(socket);
         for (int w = first; w < last; ++w) {
             CoreState &c = _cores[w];
@@ -518,6 +697,14 @@ class Simulation
     std::vector<SimJobStats> _jobStats;
     /** Root frame id -> job index (-1 for non-root frames). */
     std::vector<int32_t> _jobOfRoot;
+    /** Frame id -> owning job's class, memoized lazily by
+     * jobClsOfFrame (-1 = not yet resolved; roots seeded eagerly). */
+    std::vector<int8_t> _frameJobCls;
+    /** First admission instants (cycles, 0 = never) at which
+     * unparkPressure() fired and at which the shed threshold itself
+     * crossed — the unpark-lead gate's two timestamps. */
+    double _firstUnparkPressure = 0.0;
+    double _firstShedCross = 0.0;
     std::size_t _nextArrival = 0;
     /** Admitted, unclaimed job indices per class (JobQueue's lanes). */
     std::deque<int> _jobLanes[kNumJobLanes];
@@ -536,21 +723,15 @@ Simulation::stepReturn(int core)
     CoreState &c = _cores[core];
     const Frame &f = _dag.frame(c.cur.frame);
 
-    if (!c.deq.empty()) {
-        // Parent's continuation is still ours: pop and keep going
-        // (Figure 2 lines 3-5). With continuation stealing the tail is
-        // necessarily the immediate parent.
-        const Continuation parent = dequePopBack(core);
-        NUMAWS_ASSERT(parent.frame == f.parent);
-        c.cur = parent;
-        return {_cfg.returnCost, Charge::Work};
-    }
-
-    // Deque empty: either this is a root finishing, or our parent's
-    // continuation was stolen (Figure 2 lines 6-8).
-    const FrameId finished = c.cur.frame;
-    c.cur = Continuation{};
+    // Root return is checked *before* the deque: with preemption a
+    // claimed job's root can finish while the preempted chain's
+    // ancestors still sit below it on this deque (they are not this
+    // root's parents — the scheduling loop resumes that chain from the
+    // preempted stash). Without preemption a returning root always has
+    // an empty deque, so the reorder is behavior-neutral.
     if (f.parent == kNoFrame) {
+        const FrameId finished = c.cur.frame;
+        c.cur = Continuation{};
         if (serving()) {
             // A job's root returned: stamp its finish and keep serving
             // until the last job is done (arrivals still pending keep
@@ -586,6 +767,23 @@ Simulation::stepReturn(int core)
         _doneTime = c.clock + _cfg.returnCost;
         return {_cfg.returnCost, Charge::Work};
     }
+
+    if (!c.deq.empty()) {
+        // Parent's continuation is still ours: pop and keep going
+        // (Figure 2 lines 3-5). With continuation stealing the tail is
+        // necessarily the immediate parent — preempted-chain entries
+        // can only sit *below* every entry of the current job's chain,
+        // and thieves drain the deque front-first, so if any entry
+        // remains the back is ours.
+        const Continuation parent = dequePopBack(core);
+        NUMAWS_ASSERT(parent.frame == f.parent);
+        c.cur = parent;
+        return {_cfg.returnCost, Charge::Work};
+    }
+
+    // Deque empty: our parent's continuation was stolen (Figure 2
+    // lines 6-8).
+    c.cur = Continuation{};
     FrameState &ps = _frames[f.parent];
     NUMAWS_ASSERT(ps.stolen || ps.suspended);
     NUMAWS_ASSERT(ps.joinCount > 0);
@@ -641,6 +839,15 @@ Simulation::stepExecute(int core)
         dequePushBack(core, Continuation{c.cur.frame, c.cur.item + 1});
         c.cur = Continuation{item.child,
                              _dag.frame(item.child).itemBegin};
+        // Preemption boundary (TaskGroup::spawn's yieldPending check):
+        // a raised directive checkpoints the fresh child onto the
+        // private preempted stash — the continuation just pushed above
+        // stays stealable — and sends this core to the scheduling loop
+        // to claim the higher-class job. One relaxed flag read when the
+        // knob is on; nothing at all when it is off.
+        if (serving() && _cfg.sched.serving.preempt
+            && c.brain.yieldRequested())
+            maybeYield(core);
         return {_cfg.spawnCost, Charge::Work};
       }
       case ItemKind::Sync: {
@@ -817,6 +1024,22 @@ Simulation::stepSchedulingLoop(int core)
         return {cost, Charge::Sched};
     }
 
+    // A preempted chain is parked on this core: the only legal moves
+    // are claiming another strictly-higher-effective-class job (nested
+    // preemption — its chain stacks on the deque exactly like the
+    // first) or resuming the checkpoint. Mailbox/overflow/steal work
+    // would start an unrelated chain above the preempted one's deque
+    // entries and break the ancestor-chain invariant stepReturn pops
+    // by; it stays available to every *other* core throughout.
+    if (serving() && !c.preempted.empty()) {
+        if (auto claimed = tryClaimJob(
+                core, jobClsOfFrame(c.preempted.back().frame)))
+            return *claimed;
+        c.cur = c.preempted.back();
+        c.preempted.pop_back();
+        return {_cfg.mailboxCheckCost, Charge::Sched};
+    }
+
     // POPMAILBOX (Figure 5 line 26): something parked for this place?
     if (!c.mailbox.empty()) {
         c.cur = mailboxTake(core);
@@ -841,44 +1064,12 @@ Simulation::stepSchedulingLoop(int core)
     }
 
     // Admission before stealing (the threaded mainLoop's order): claim
-    // the oldest job from the highest-priority nonempty lane. Charged
-    // like a mailbox inspection — the JobQueue pop is one locked deque
-    // operation of the same shape.
+    // the oldest job from the best-effective-class nonempty lane.
+    // Charged like a mailbox inspection — the JobQueue pop is one
+    // locked deque operation of the same shape.
     if (serving()) {
-        for (auto &lane : _jobLanes) {
-            if (lane.empty())
-                continue;
-            const int j = lane.front();
-            lane.pop_front();
-            const SimJob &job = (*_jobs)[j];
-            // Claim-time gate, same order as Runtime::takeJob: every
-            // pop feeds the class's claim-delay EWMA (skipped entries
-            // are evidence of the same queue), then cancelled or
-            // past-deadline entries resolve here without running —
-            // one skip per scheduling step, each charged like the
-            // claim it is.
-            _shed.observeDelay(
-                job.cls, static_cast<int64_t>(
-                             (c.clock - job.arrivalCycles)
-                             / _machine.ghz()));
-            const double at = c.clock + _cfg.mailboxCheckCost;
-            if (job.cancelAtCycles != 0.0
-                && job.cancelAtCycles <= c.clock) {
-                resolveJobUnrun(j, JobOutcome::Cancelled,
-                                /*shed=*/false, at);
-                return {_cfg.mailboxCheckCost, Charge::Sched};
-            }
-            if (job.deadlineCycles != 0.0
-                && c.clock > job.deadlineCycles) {
-                resolveJobUnrun(j, JobOutcome::Expired,
-                                /*shed=*/false, at);
-                return {_cfg.mailboxCheckCost, Charge::Sched};
-            }
-            _jobStats[j].startCycles = at;
-            const FrameId root = job.root;
-            c.cur = Continuation{root, _dag.frame(root).itemBegin};
-            return {_cfg.mailboxCheckCost, Charge::Sched};
-        }
+        if (auto claimed = tryClaimJob(core, kNumJobLanes))
+            return *claimed;
     }
 
     return stepStealAttempt(core);
@@ -987,6 +1178,9 @@ Simulation::run()
     }
     r.counters = _counters;
     r.memory = _mem_counters;
+    r.firstUnparkPressureCycles =
+        static_cast<uint64_t>(_firstUnparkPressure);
+    r.firstShedCrossCycles = static_cast<uint64_t>(_firstShedCross);
     return r;
 }
 

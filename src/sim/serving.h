@@ -7,9 +7,13 @@
  * frames grafted into one dag via ComputationDag::append — arrives over
  * virtual time. Each job carries an arrival cycle and a priority class;
  * the simulated scheduling loop claims admitted jobs from per-class
- * lanes (highest class first, mirroring JobQueue) before probing
- * victims, and under the parking model an admission issues the same
- * targeted socket wake Runtime::notifyAdmission does.
+ * lanes (best *effective* class first, mirroring JobQueue plus
+ * ShedCore's priority aging; strict nominal order when aging is off)
+ * before probing victims, and under the parking model an admission
+ * issues the same targeted socket wake Runtime::notifyAdmission does —
+ * escalated to every parked core while ShedCore::unparkPressure()
+ * stands, and backed by the same Spawn-boundary preemption directive
+ * Runtime::enqueueJob raises when ServingPolicy::preempt is on.
  *
  * Arrivals are generated up front from a seeded process (Poisson or
  * bursty), so serving runs are byte-reproducible per seed: the same

@@ -355,11 +355,15 @@ TEST(Deadline, LateFinishWithoutBoundariesStillResolvesExpired)
     // the simulator's clock-edge semantics).
     Runtime rt(oneWorker());
     JobOptions opts;
-    opts.deadlineNs = 1'000'000; // 1ms
+    // Wide margins: the claim must land inside the deadline (else the
+    // job is skipped at claim time and never runs), so the deadline is
+    // generous relative to any plausible claim latency on a loaded CI
+    // host, and the sleep comfortably overshoots it.
+    opts.deadlineNs = 50'000'000; // 50ms
     std::atomic<bool> ran{false};
     JobHandle h = rt.submit(
         [&ran] {
-            std::this_thread::sleep_for(10ms);
+            std::this_thread::sleep_for(60ms);
             ran.store(true);
         },
         opts);
