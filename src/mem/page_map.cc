@@ -64,6 +64,19 @@ PageMap::homeOf(uint64_t addr) const
     return resolve(it->second, it->first, addr);
 }
 
+int
+PageMap::registeredHomeOf(uint64_t addr) const
+{
+    std::lock_guard<std::mutex> g(_mutex);
+    auto it = _ranges.upper_bound(addr);
+    if (it == _ranges.begin())
+        return -1;
+    --it;
+    if (addr >= it->second.end)
+        return -1;
+    return resolve(it->second, it->first, addr);
+}
+
 std::size_t
 PageMap::rangeCount() const
 {

@@ -66,6 +66,15 @@ class PageMap
      */
     int homeOf(uint64_t addr) const;
 
+    /**
+     * homeOf restricted to registered ranges: returns -1 when no
+     * registration covers @p addr. Placement decisions (spawn-time
+     * hints) need the distinction — homeOf's socket-0 default for
+     * unknown addresses is indistinguishable from a real socket-0 home
+     * and would herd every unregistered spawn onto one socket.
+     */
+    int registeredHomeOf(uint64_t addr) const;
+
     int numSockets() const { return _numSockets; }
 
     /** Number of registered ranges (test hook). */

@@ -14,6 +14,9 @@
  *    parallelForPlaces, place introspection (runtime/api.h)
  *  - SchedPolicy and its knob table (sched/policy.h)
  *  - Place vocabulary: kAnyPlace, kInheritPlace (topology/place.h)
+ *  - NUMA data plane: numa::allocate / numa::deallocate,
+ *    NumaAllocator<T>, the DataHeapPolicy knob (mem/numa_heap.h) and
+ *    the socket-sharded PartedVec<T> (mem/parted_vec.h)
  *
  * Migration from the pre-PR 6 surface:
  *
@@ -37,6 +40,8 @@
 #ifndef NUMAWS_NUMAWS_H
 #define NUMAWS_NUMAWS_H
 
+#include "mem/numa_heap.h"
+#include "mem/parted_vec.h"
 #include "runtime/api.h"
 #include "runtime/job.h"
 #include "runtime/runtime.h"

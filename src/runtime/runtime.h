@@ -45,6 +45,7 @@
 
 #include "deque/mailbox.h"
 #include "deque/ws_deque.h"
+#include "mem/numa_heap.h"
 #include "runtime/job.h"
 #include "runtime/job_queue.h"
 #include "runtime/task.h"
@@ -65,7 +66,6 @@
 
 namespace numaws {
 
-class PageMap;
 class Runtime;
 
 /** Hard cap on frames moved by one batched remote steal. */
@@ -117,6 +117,15 @@ struct RuntimeOptions
      * decision may depend on it (the engine-parity contract).
      */
     TaskPoolPolicy taskPool = TaskPoolPolicy::Pooled;
+    /**
+     * User-data allocation (numa::allocate / NumaAllocator / PartedVec):
+     * per-worker NUMA heaps plus PageMap-registered arena blocks
+     * (default), or plain unregistered heap blocks (the ablation
+     * baseline — pre-data-plane behavior). Engine-side like taskPool:
+     * the simulator has no allocator, and no scheduling decision may
+     * depend on this knob.
+     */
+    DataHeapPolicy dataHeap = DataHeapPolicy::Pooled;
     /** Root seed; worker RNGs derive from it. */
     uint64_t seed = 0x5eed;
     /** Deque capacity (spawn depth bound). */
@@ -171,6 +180,17 @@ struct WorkerCounters
     uint64_t framesRecycled = 0; ///< pool allocations served from a free list
     uint64_t remoteFrees = 0;    ///< frames freed onto a remote-free stack
     uint64_t slabBytes = 0;      ///< pool memory carved from NumaArena
+    /// @}
+    /** @name Data-plane counters
+     * Maintained by each worker's NumaHeap (the user-data sibling of
+     * the frame pool) and folded in via Worker::foldDataCounters.
+     * dataBytesPooled is user bytes served from the size-classed fast
+     * path; dataRemoteFrees counts blocks freed cross-thread onto a
+     * remote stack; dataSlabBytes gauges carved heap memory. */
+    /// @{
+    uint64_t dataBytesPooled = 0;
+    uint64_t dataRemoteFrees = 0;
+    uint64_t dataSlabBytes = 0;
     /// @}
     /** @name Parking counters
      * Unlike every other counter (written only while executing or
@@ -364,6 +384,14 @@ class Worker
         into.remoteFrees += _framePool.remoteFrees();
         into.slabBytes += _framePool.slabBytes();
     }
+    /** Fold the user-data heap counters into @p into (Runtime::stats). */
+    void
+    foldDataCounters(WorkerCounters &into) const
+    {
+        into.dataBytesPooled += _dataHeap.bytesPooled();
+        into.dataRemoteFrees += _dataHeap.remoteFrees();
+        into.dataSlabBytes += _dataHeap.slabBytes();
+    }
     /** Fold the atomic park counters into @p into (Runtime::stats). */
     void
     foldParkCounters(WorkerCounters &into) const
@@ -415,6 +443,18 @@ class Worker
     StealCore &core() { return _core; }
     /** The worker's NUMA-local task-frame pool (spawn fast path). */
     TaskFramePool &framePool() { return _framePool; }
+    /** The worker's NUMA-local user-data heap (numa::allocate). */
+    NumaHeap &dataHeap() { return _dataHeap; }
+
+    /**
+     * Spawn-time placement hint for a data-annotated spawn: resolve the
+     * range's *registered* page homes through the runtime's affinity
+     * PageMap and pick a place from the resulting mask
+     * (StealCore::placeFromAffinity). kAnyPlace when nothing is
+     * registered — unregistered data must not herd spawns onto
+     * socket 0.
+     */
+    Place placeForData(const void *data, std::size_t bytes) const;
 
     /** @name Runtime-internal scheduling entry points */
     /// @{
@@ -519,6 +559,11 @@ class Worker
     /** NUMA-local frame recycler behind the allocation-free spawn
      * path; drained of thief-freed frames on the steal path. */
     TaskFramePool _framePool;
+    /** NUMA-local user-data heap (the data-plane sibling of the frame
+     * pool: numa::allocate's fast path); also drained of cross-thread
+     * frees on the steal path. Slabs come from the Runtime's arena,
+     * which outlives the workers by declaration order. */
+    NumaHeap _dataHeap;
     /** Cache of the last deque-occupancy value *we* published. Only
      * this worker sets its own deque bit, so a false cache always
      * means the bit is clear and the publish is needed; a true cache
@@ -601,6 +646,24 @@ class Runtime
     OccupancyBoard &board() { return _board; }
     const OccupancyBoard &board() const { return _board; }
     ParkingLot &parkingLot() { return _parking; }
+    /** The runtime-owned data-plane arena (slabs, big objects,
+     * partitioned buffers); registers every block in dataPageMap(). */
+    NumaArena &arena() { return _arena; }
+    /** Page-home registry fed by the data plane's own allocations. */
+    PageMap &dataPageMap() { return _pageMap; }
+    const PageMap &dataPageMap() const { return _pageMap; }
+    /**
+     * The registry affinity resolution consults: the user-supplied
+     * RuntimeOptions::pageMap when present (layout experiments register
+     * their own ranges), else the runtime's own data-plane map — so
+     * PartedVec homes feed the steal-path affinity mask and spawn-time
+     * hints with zero configuration.
+     */
+    const PageMap *
+    affinityPageMap() const
+    {
+        return _options.pageMap != nullptr ? _options.pageMap : &_pageMap;
+    }
 
     /** Workers on place @p p: [first, last). */
     std::pair<int, int> workersOfPlace(int p) const;
@@ -709,6 +772,12 @@ class Runtime
     StealDistribution _dist;
     OccupancyBoard _board;
     ParkingLot _parking;
+    /** Data-plane page registry and arena. Declared before _workers on
+     * purpose: worker NumaHeaps return their slabs to _arena from their
+     * destructors, so the arena (and its map) must destruct after the
+     * worker array. */
+    PageMap _pageMap;
+    NumaArena _arena;
     std::vector<std::unique_ptr<Worker>> _workers;
     std::vector<std::thread> _threads;
 
@@ -773,6 +842,14 @@ TaskGroup::spawn(F &&fn, Place place, const void *data,
         throw JobCancelled{};
     if (place == kInheritPlace)
         place = w->currentHint();
+    // Spawn-time placement hint (the PR 2 affinity mask, consulted at
+    // spawn): an unplaced task annotated with a data range lands on the
+    // range's home-socket deque, so PartedVec::forEachShard spawns get
+    // their affinity without callers naming places. Only *registered*
+    // ranges produce a hint; plain-heap data keeps kAnyPlace. The check
+    // costs one compare when no annotation is present (work-first).
+    if (!isConcretePlace(place) && data != nullptr && data_bytes > 0)
+        place = w->placeForData(data, data_bytes);
     using Fn = std::decay_t<F>;
     using Impl = TaskImpl<Fn>;
     // Allocation-free fast path: placement-new into a recycled frame

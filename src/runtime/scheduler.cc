@@ -39,6 +39,8 @@ Runtime::Runtime(RuntimeOptions options)
                                        : BiasWeights::uniform()),
       _board(_dist.numWorkers(), _dist.workerSockets()),
       _parking(options.sched.boardParking() ? _board.numSockets() : 0),
+      _pageMap(std::max(1, options.numPlaces)),
+      _arena(_pageMap),
       _shed(options.sched.serving)
 {
     const int workers =
@@ -59,6 +61,13 @@ Runtime::Runtime(RuntimeOptions options)
     _threads.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w)
         _threads.emplace_back([this, w] { _workers[w]->mainLoop(); });
+
+    // Ambient data-plane binding for non-worker threads (PartedVec
+    // construction on the submitting thread, NumaAllocator containers
+    // built before run()): route through this runtime's arena. Last
+    // runtime constructed wins; cleared by our destructor.
+    numa::setAmbient(&_arena,
+                     _options.dataHeap == DataHeapPolicy::Pooled, this);
 }
 
 Runtime::~Runtime()
@@ -81,6 +90,10 @@ Runtime::~Runtime()
     notifyWork();
     for (auto &t : _threads)
         t.join();
+    // Non-worker threads must stop routing allocations through our
+    // arena once it is gone (pooled blocks still live at this point are
+    // caller bugs — deallocate them before the runtime dies).
+    numa::clearAmbient(this);
 }
 
 std::pair<int, int>
@@ -104,6 +117,7 @@ Runtime::stats() const
         w->foldParkCounters(s.counters);
         w->foldCoreCounters(s.counters);
         w->foldPoolCounters(s.counters);
+        w->foldDataCounters(s.counters);
         w->foldJobHists(s);
         s.time.merge(const_cast<Worker &>(*w).timeSplit());
     }
@@ -132,6 +146,7 @@ Runtime::resetStats()
         w->resetJobHists();
         w->core().resetCounters();
         w->framePool().resetCounters();
+        w->dataHeap().resetCounters();
         w->timeSplit() = TimeSplit{};
     }
     _agedClaims.store(0, std::memory_order_relaxed);

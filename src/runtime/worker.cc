@@ -34,6 +34,9 @@ WorkerCounters::merge(const WorkerCounters &o)
     framesRecycled += o.framesRecycled;
     remoteFrees += o.remoteFrees;
     slabBytes += o.slabBytes;
+    dataBytesPooled += o.dataBytesPooled;
+    dataRemoteFrees += o.dataRemoteFrees;
+    dataSlabBytes += o.dataSlabBytes;
     parks += o.parks;
     parkWakes += o.parkWakes;
     parkTimeouts += o.parkTimeouts;
@@ -53,6 +56,10 @@ Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
       _mailbox(runtime.options().sched.mailboxCapacity),
       _framePool(id,
                  runtime.options().taskPool == TaskPoolPolicy::Pooled),
+      _dataHeap(id, place,
+                runtime.options().dataHeap == DataHeapPolicy::Pooled
+                    ? &runtime.arena()
+                    : nullptr),
       _core(runtime.options().sched,
             EngineView{&runtime.stealDistribution(), &runtime.board()},
             id, place, seed),
@@ -154,10 +161,12 @@ Worker::acquireLocal()
 TaskBase *
 Worker::trySteal()
 {
-    // Reclaim frames thieves freed into our pool — on the steal path,
-    // where the work-first principle wants the cost, never the spawn
-    // path. The nothing-pending case is one relaxed load.
+    // Reclaim frames (and data blocks) other threads freed into our
+    // pools — on the steal path, where the work-first principle wants
+    // the cost, never the spawn/allocation path. The nothing-pending
+    // case is one relaxed load each.
     _framePool.drainRemote();
+    _dataHeap.drainRemote();
     if (_runtime.numWorkers() <= 1)
         return nullptr;
     const SchedPolicy &pol = _runtime.options().sched;
@@ -278,23 +287,43 @@ void
 Worker::noteAffinity(const TaskBase *task)
 {
     // Data-home affinity for OccupancyAffinity steals: resolve the
-    // task's annotated data range through the PageMap (first and last
-    // page are enough — registrations are contiguous per policy); tasks
-    // without an annotation fall back to their place hint.
+    // task's annotated data range through the affinity PageMap — the
+    // user-supplied one, or the runtime's own data-plane map, so
+    // PartedVec shards count without any configuration. First and last
+    // page are enough: registrations are contiguous per policy. Tasks
+    // without an annotation, or annotated with *unregistered* data
+    // (plain-heap buffers), fall back to their place hint.
     uint32_t mask = 0;
-    const PageMap *pm = _runtime.options().pageMap;
-    if (pm != nullptr && task->dataBytes() > 0) {
-        const int first = pm->homeOf(task->dataAddr());
-        const int last =
-            pm->homeOf(task->dataAddr() + task->dataBytes() - 1);
+    if (task->dataBytes() > 0) {
+        const PageMap *pm = _runtime.affinityPageMap();
+        const int first = pm->registeredHomeOf(task->dataAddr());
+        const int last = pm->registeredHomeOf(task->dataAddr()
+                                              + task->dataBytes() - 1);
         if (first >= 0 && first < 32)
             mask |= 1u << first;
         if (last >= 0 && last < 32)
             mask |= 1u << last;
-    } else if (isConcretePlace(task->place()) && task->place() < 32) {
-        mask = 1u << task->place();
     }
+    if (mask == 0 && isConcretePlace(task->place())
+        && task->place() < 32)
+        mask = 1u << task->place();
     _core.setAffinity(mask);
+}
+
+Place
+Worker::placeForData(const void *data, std::size_t bytes) const
+{
+    const PageMap *pm = _runtime.affinityPageMap();
+    const auto addr = reinterpret_cast<uint64_t>(data);
+    uint32_t mask = 0;
+    const int first = pm->registeredHomeOf(addr);
+    const int last = pm->registeredHomeOf(addr + bytes - 1);
+    if (first >= 0 && first < 32)
+        mask |= 1u << first;
+    if (last >= 0 && last < 32)
+        mask |= 1u << last;
+    const Place p = StealCore::placeFromAffinity(mask);
+    return isConcretePlace(p) && p < _runtime.numPlaces() ? p : kAnyPlace;
 }
 
 void
@@ -493,6 +522,11 @@ void
 Worker::mainLoop()
 {
     tlsWorker = this;
+    // Data-plane thread binding: numa::allocate on this thread routes
+    // through our NUMA-local heap (fast path) and the runtime's arena.
+    numa::bindThread(numa::ThreadBinding{
+        &_dataHeap, &_runtime.arena(), _place,
+        _runtime.options().dataHeap == DataHeapPolicy::Pooled});
     if (_runtime.options().pinThreads)
         pinCurrentThread(_id);
     _mark = nowNs();
@@ -548,6 +582,7 @@ Worker::mainLoop()
         }
     }
     switchBucket(TimeSplit::Idle); // flush the final segment
+    numa::unbindThread();
     tlsWorker = nullptr;
 }
 

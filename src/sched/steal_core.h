@@ -35,6 +35,7 @@
 
 #include "sched/policy.h"
 #include "support/rng.h"
+#include "topology/place.h"
 
 namespace numaws {
 
@@ -378,6 +379,21 @@ class StealCore
     }
 
     uint32_t affinity() const { return _affinity; }
+
+    /**
+     * Turn a data-home socket mask (the same encoding setAffinity
+     * takes) into a spawn-time placement hint: the lowest homing
+     * socket, or kAnyPlace for an empty mask. Static and deterministic
+     * — the spawn fast path must not consume RNG (neither engine's
+     * spawn path draws randomness; the engine-parity contract).
+     */
+    static Place
+    placeFromAffinity(uint32_t socket_mask)
+    {
+        if (socket_mask == 0)
+            return kAnyPlace;
+        return static_cast<Place>(__builtin_ctz(socket_mask));
+    }
     /// @}
 
     /** @name Introspection (engines fold counters; tests poke state) */

@@ -77,7 +77,10 @@ sortParRec(int64_t *data, int64_t n, int64_t *tmp, const CilksortParams &p,
     const int places = numPlaces();
 
     // MERGESORTTOP (Figure 4): quarter i sorted at place i. Only the top
-    // level names places; deeper levels inherit.
+    // level names places; deeper levels inherit. Top-level spawns carry
+    // their quarter's data range: on data-plane buffers the spawn-time
+    // hint resolves the quarter's registered home even with hints off;
+    // on plain heap arrays the range is unregistered and changes nothing.
     {
         TaskGroup tg;
         for (int i = 0; i < 3; ++i) {
@@ -86,7 +89,9 @@ sortParRec(int64_t *data, int64_t n, int64_t *tmp, const CilksortParams &p,
             tg.spawn(
                 [=] { sortParRec(data + off[i], sizes[i], tmp + off[i], p,
                                  hints, false); },
-                pl);
+                pl, top ? data + off[i] : nullptr,
+                top ? static_cast<std::size_t>(sizes[i]) * sizeof(int64_t)
+                    : 0);
         }
         const Place pl3 =
             top ? chunkPlace(hints, 3, 4, places) : kInheritPlace;
@@ -94,7 +99,8 @@ sortParRec(int64_t *data, int64_t n, int64_t *tmp, const CilksortParams &p,
             tg.spawn(
                 [=] { sortParRec(data + off[3], sizes[3], tmp + off[3], p,
                                  hints, false); },
-                pl3);
+                pl3, data + off[3],
+                static_cast<std::size_t>(sizes[3]) * sizeof(int64_t));
         } else {
             sortParRec(data + off[3], sizes[3], tmp + off[3], p, hints,
                        false);
@@ -218,6 +224,35 @@ cilksortParallel(Runtime &rt, int64_t *data, int64_t n, int64_t *tmp,
                  const CilksortParams &p, bool hints)
 {
     rt.run([&] { sortParRec(data, n, tmp, p, hints, true); });
+}
+
+CilksortBuffers::CilksortBuffers(Runtime &rt, int64_t n) : n(n)
+{
+    const auto bytes = static_cast<std::size_t>(n) * sizeof(int64_t);
+    if (rt.options().dataHeap == DataHeapPolicy::Pooled) {
+        // Four contiguous quarters, homed to match the top-level
+        // chunkPlace mapping (chunk c -> socket c * sockets / 4).
+        data = static_cast<int64_t *>(
+            numa::allocatePartitioned(rt.arena(), bytes, 4));
+        tmp = static_cast<int64_t *>(
+            numa::allocatePartitioned(rt.arena(), bytes, 4));
+    } else {
+        data = static_cast<int64_t *>(numa::allocatePlain(bytes));
+        tmp = static_cast<int64_t *>(numa::allocatePlain(bytes));
+    }
+}
+
+CilksortBuffers::~CilksortBuffers()
+{
+    numa::deallocate(tmp);
+    numa::deallocate(data);
+}
+
+void
+cilksortParallel(Runtime &rt, CilksortBuffers &buf,
+                 const CilksortParams &p, bool hints)
+{
+    rt.run([&] { sortParRec(buf.data, buf.n, buf.tmp, p, hints, true); });
 }
 
 sim::ComputationDag

@@ -69,6 +69,82 @@ stepParallel(const double *src, double *dst, const HeatParams &p,
     tg.sync();
 }
 
+/**
+ * sweepRows over parted grids. stepParted hands out row ranges that
+ * never cross a shard boundary (it splits per shard, and granule ny
+ * keeps rows whole), so the mid/out streams resolve once and step by
+ * ny — ptr()'s divide per row would otherwise eat the locality win on
+ * small grids. Only the first row's up-neighbor and the last row's
+ * down-neighbor can live in an adjacent shard. The inner expression is
+ * identical to sweepRows so parted results match the flat (and serial)
+ * grids bit-for-bit.
+ */
+void
+sweepRowsParted(const PartedVec<double> &src, PartedVec<double> &dst,
+                int64_t nx, int64_t ny, int64_t r0, int64_t r1)
+{
+    r0 = std::max<int64_t>(r0, 1);
+    r1 = std::min<int64_t>(r1, nx - 1);
+    if (r0 >= r1)
+        return;
+    const double *mid = src.ptr(static_cast<std::size_t>(r0 * ny));
+    double *out = dst.ptr(static_cast<std::size_t>(r0 * ny));
+    for (int64_t i = r0; i < r1; ++i) {
+        const double *up =
+            i == r0 ? src.ptr(static_cast<std::size_t>((i - 1) * ny))
+                    : mid - ny;
+        const double *down =
+            i == r1 - 1 ? src.ptr(static_cast<std::size_t>((i + 1) * ny))
+                        : mid + ny;
+        for (int64_t j = 1; j < ny - 1; ++j)
+            out[j] = 0.2 * (mid[j] + up[j] + down[j] + mid[j - 1]
+                            + mid[j + 1]);
+        mid += ny;
+        out += ny;
+    }
+}
+
+void
+copyBoundaryParted(const PartedVec<double> &src, PartedVec<double> &dst,
+                   int64_t nx, int64_t ny)
+{
+    const std::size_t last =
+        static_cast<std::size_t>(nx - 1) * static_cast<std::size_t>(ny);
+    std::copy(src.ptr(0), src.ptr(0) + ny, dst.ptr(0));
+    std::copy(src.ptr(last), src.ptr(last) + ny, dst.ptr(last));
+    // Side columns, one contiguous row run per shard (resolving every
+    // row through ptr() costs a divide per call).
+    for (int s = 0; s < dst.numShards(); ++s) {
+        const int64_t rows = static_cast<int64_t>(dst.shardSize(s)) / ny;
+        const double *in = src.shardData(s);
+        double *out = dst.shardData(s);
+        for (int64_t r = 0; r < rows; ++r, in += ny, out += ny) {
+            out[0] = in[0];
+            out[ny - 1] = in[ny - 1];
+        }
+    }
+}
+
+void
+stepParted(const PartedVec<double> &src, PartedVec<double> &dst,
+           const HeatParams &p)
+{
+    // One task per shard via forEachShard: each spawn carries its
+    // shard's data range, so the spawn-time placement hint lands it on
+    // the shard's home deque — no chunkPlace here, placement falls out
+    // of the data plane.
+    dst.forEachShard([&src, &dst, &p](int s, double *,
+                                      std::size_t count) {
+        const int64_t r0 = static_cast<int64_t>(dst.shardBegin(s)) / p.ny;
+        const int64_t rows = static_cast<int64_t>(count) / p.ny;
+        parallelForRange(r0, r0 + rows, p.baseRows,
+                         [&](int64_t lo, int64_t hi) {
+                             sweepRowsParted(src, dst, p.nx, p.ny, lo,
+                                             hi);
+                         });
+    });
+}
+
 // ------------------------------------------------------------------
 // Dag generator
 // ------------------------------------------------------------------
@@ -131,6 +207,29 @@ heatParallel(Runtime &rt, double *a, double *b, const HeatParams &p,
         for (int64_t t = 0; t < p.steps; ++t) {
             copyBoundary(src, dst, p.nx, p.ny);
             stepParallel(src, dst, p, hints);
+            std::swap(src, dst);
+        }
+    });
+}
+
+void
+heatParallel(Runtime &rt, PartedVec<double> &a, PartedVec<double> &b,
+             const HeatParams &p)
+{
+    const auto cells = static_cast<std::size_t>(p.nx)
+                       * static_cast<std::size_t>(p.ny);
+    NUMAWS_ASSERT(a.size() == cells && b.size() == cells);
+    // Shard boundaries must fall on row boundaries (build the grids
+    // with granule ny); the stencil's per-row pointer resolution
+    // depends on it.
+    NUMAWS_ASSERT(a.shardStride() % static_cast<std::size_t>(p.ny) == 0);
+    NUMAWS_ASSERT(b.shardStride() == a.shardStride());
+    rt.run([&] {
+        PartedVec<double> *src = &a;
+        PartedVec<double> *dst = &b;
+        for (int64_t t = 0; t < p.steps; ++t) {
+            copyBoundaryParted(*src, *dst, p.nx, p.ny);
+            stepParted(*src, *dst, p);
             std::swap(src, dst);
         }
     });

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/parted_vec.h"
 #include "runtime/api.h"
 #include "sim/dag.h"
 
@@ -85,6 +86,31 @@ void cilksortParallel(Runtime &rt, int64_t *data, int64_t n, int64_t *tmp,
 sim::ComputationDag cilksortDag(const CilksortParams &p, int places,
                                 Placement placement, bool hints);
 
+/**
+ * cilksort buffers on the NUMA data plane: `data` and `tmp` partitioned
+ * into four contiguous quarters homed socket-by-socket (the Figure 4
+ * partitioning) and registered in the runtime's PageMap, so the
+ * top-level quarter spawns resolve real homes — with hints off, the
+ * spawn-time placement hint still lands each quarter on its socket.
+ * Under DataHeapPolicy::Heap both arrays are plain unregistered heap
+ * blocks (the ablation baseline). Must not outlive @p rt.
+ */
+struct CilksortBuffers
+{
+    CilksortBuffers(Runtime &rt, int64_t n);
+    ~CilksortBuffers();
+    CilksortBuffers(const CilksortBuffers &) = delete;
+    CilksortBuffers &operator=(const CilksortBuffers &) = delete;
+
+    int64_t *data = nullptr;
+    int64_t *tmp = nullptr;
+    int64_t n = 0;
+};
+
+/** cilksortParallel over data-plane buffers. */
+void cilksortParallel(Runtime &rt, CilksortBuffers &buf,
+                      const CilksortParams &p, bool hints);
+
 // ---------------------------------------------------------------------
 // heat — Jacobi heat diffusion on a 2D plane
 // ---------------------------------------------------------------------
@@ -100,6 +126,16 @@ struct HeatParams
 void heatSerial(double *a, double *b, const HeatParams &p);
 void heatParallel(Runtime &rt, double *a, double *b, const HeatParams &p,
                   bool hints);
+/**
+ * heat on the NUMA data plane: grids are PartedVec<double> built with
+ * granule @c p.ny (shard boundaries on row boundaries), one task per
+ * shard spawned through forEachShard — placement falls out of the
+ * shards' registered homes via the spawn-time hint, so there is no
+ * hints flag. Sweep arithmetic is expression-identical to heatSerial:
+ * results match the serial grid bit-for-bit.
+ */
+void heatParallel(Runtime &rt, PartedVec<double> &a, PartedVec<double> &b,
+                  const HeatParams &p);
 sim::ComputationDag heatDag(const HeatParams &p, int places,
                             Placement placement, bool hints);
 

@@ -6,12 +6,15 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 
 #include "mem/latency_model.h"
 #include "mem/llc_model.h"
 #include "mem/numa_arena.h"
 #include "mem/page_map.h"
+#include "mem/parted_vec.h"
+#include "runtime/api.h"
 
 namespace numaws {
 namespace {
@@ -115,6 +118,114 @@ TEST(NumaArena, CarveSlabOnSocketRegistersHomes)
     EXPECT_EQ(pm.homeOf(base + kPageBytes), 2);
     arena.free(slab);
     EXPECT_EQ(pm.homeOf(base), 0);
+}
+
+TEST(PageMap, RegisteredHomeOfDistinguishesUnknownAddresses)
+{
+    PageMap pm(4);
+    pm.registerRange(0x10000, 0x4000, PagePolicy::Single, 2);
+    EXPECT_EQ(pm.registeredHomeOf(0x10000), 2);
+    EXPECT_EQ(pm.registeredHomeOf(0x13fff), 2);
+    // homeOf would say socket 0 for all of these; placement must not.
+    EXPECT_EQ(pm.registeredHomeOf(0x14000), -1);
+    EXPECT_EQ(pm.registeredHomeOf(0x0ffff), -1);
+    EXPECT_EQ(pm.registeredHomeOf(0x123456), -1);
+}
+
+RuntimeOptions
+partedOptions(int places, DataHeapPolicy heap = DataHeapPolicy::Pooled)
+{
+    RuntimeOptions o;
+    o.numWorkers = places;
+    o.numPlaces = places;
+    o.dataHeap = heap;
+    return o;
+}
+
+TEST(PartedVec, ShardMathWithGranule)
+{
+    Runtime rt(partedOptions(4));
+    // 100 elements in granules of 8: 13 granules, ceil(13/4) = 4 per
+    // shard -> stride 32 elements; the last shard takes the tail.
+    PartedVec<double> v(rt, 100, 8);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_EQ(v.numShards(), 4);
+    EXPECT_EQ(v.shardStride(), 32u);
+    EXPECT_EQ(v.shardSize(0), 32u);
+    EXPECT_EQ(v.shardSize(2), 32u);
+    EXPECT_EQ(v.shardSize(3), 4u);
+    EXPECT_EQ(v.shardFor(0), 0);
+    EXPECT_EQ(v.shardFor(31), 0);
+    EXPECT_EQ(v.shardFor(32), 1);
+    EXPECT_EQ(v.shardBegin(1), 32u);
+    EXPECT_EQ(v.homeOf(99), 3);
+}
+
+TEST(PartedVec, ShardsRegisterAndUnregisterTheirHomes)
+{
+    Runtime rt(partedOptions(2));
+    const std::size_t before = rt.dataPageMap().rangeCount();
+    {
+        PartedVec<int> v(rt, 1000);
+        EXPECT_EQ(rt.dataPageMap().rangeCount(), before + 2);
+        for (int s = 0; s < v.numShards(); ++s) {
+            EXPECT_EQ(rt.dataPageMap().registeredHomeOf(
+                          reinterpret_cast<uint64_t>(v.shardData(s))),
+                      s);
+        }
+    }
+    // Destruction returns the shards and their registrations.
+    EXPECT_EQ(rt.dataPageMap().rangeCount(), before);
+}
+
+TEST(PartedVec, ElementAccessIsCoherentAcrossViews)
+{
+    Runtime rt(partedOptions(3));
+    PartedVec<int> v(rt, 50, 4);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = static_cast<int>(i);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        EXPECT_EQ(*v.ptr(i), static_cast<int>(i));
+        const int s = v.shardFor(i);
+        EXPECT_EQ(v.shardData(s)[i - v.shardBegin(s)],
+                  static_cast<int>(i));
+    }
+    // Value-construction zeroed every element before we wrote.
+    PartedVec<int> z(rt, 50, 4);
+    for (std::size_t i = 0; i < z.size(); ++i)
+        EXPECT_EQ(z[i], 0);
+}
+
+TEST(PartedVec, ForEachShardVisitsEveryElementOnce)
+{
+    Runtime rt(partedOptions(2));
+    PartedVec<int> v(rt, 301, 10);
+    std::atomic<int> shards_seen{0};
+    rt.run([&] {
+        v.forEachShard([&](int, int *data, std::size_t count) {
+            for (std::size_t i = 0; i < count; ++i)
+                data[i] += 1;
+            shards_seen.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(shards_seen.load(), v.numShards());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_EQ(v[i], 1);
+}
+
+TEST(PartedVec, HeapPolicyShardsAreUnregistered)
+{
+    Runtime rt(partedOptions(2, DataHeapPolicy::Heap));
+    const std::size_t before = rt.dataPageMap().rangeCount();
+    PartedVec<int> v(rt, 100);
+    EXPECT_EQ(rt.dataPageMap().rangeCount(), before);
+    EXPECT_EQ(rt.dataPageMap().registeredHomeOf(
+                  reinterpret_cast<uint64_t>(v.shardData(0))),
+              -1);
+    // Sharding math is policy-independent (the ablation contract).
+    EXPECT_EQ(v.numShards(), 2);
+    v[99] = 7;
+    EXPECT_EQ(*v.ptr(99), 7);
 }
 
 TEST(LlcModel, MissThenHit)
