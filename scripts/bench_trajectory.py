@@ -78,6 +78,11 @@ KEY_FIELDS = (
     # container holds the grid identify the row.
     "heap",
     "container",
+    # Interference rows: the adaptation knob, the trace shape (sim),
+    # and the co-runner count (threaded) identify the row.
+    "interference",
+    "trace",
+    "corunners",
 )
 # Measurements worth a trajectory line, in print order.
 METRICS = (
@@ -129,6 +134,12 @@ GATE_TOLERANCE_BY_REPORT = {
     # the properties that matter, so the trajectory gates wide like the
     # other micro-scale reports.
     "BENCH_dataplane.json": 0.25,
+    # Interference rows deliberately run with pinned busy-loop
+    # co-runners stealing CPU — elapsed is exactly the quantity the
+    # host scheduler perturbs; the bench's own gates bound the
+    # adapt-vs-off ratios (strictly, byte-deterministically, in the
+    # sim rows).
+    "BENCH_interference.json": 0.25,
 }
 
 

@@ -1,5 +1,6 @@
 #include "mem/numa_arena.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -19,7 +20,30 @@ allocSizes()
     return sizes;
 }
 
+// failNextCarvesForTesting budget; 0 in production (one relaxed load
+// on the already-slow carve path).
+std::atomic<int> injectedCarveFailures{0};
+
+bool
+takeInjectedFailure()
+{
+    int n = injectedCarveFailures.load(std::memory_order_relaxed);
+    while (n > 0) {
+        if (injectedCarveFailures.compare_exchange_weak(
+                n, n - 1, std::memory_order_relaxed,
+                std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
 } // namespace
+
+void
+NumaArena::failNextCarvesForTesting(int n)
+{
+    injectedCarveFailures.store(n, std::memory_order_relaxed);
+}
 
 void *
 NumaArena::allocRaw(std::size_t bytes)
@@ -29,6 +53,8 @@ NumaArena::allocRaw(std::size_t bytes)
     const std::size_t rounded =
         (bytes + kPageBytes - 1) / kPageBytes * kPageBytes;
     void *p = carveSlab(rounded);
+    if (p == nullptr)
+        return nullptr;
     {
         std::lock_guard<std::mutex> g(sizesMutex);
         allocSizes()[p] = rounded;
@@ -40,7 +66,8 @@ void *
 NumaArena::allocOnSocket(std::size_t bytes, int socket)
 {
     void *p = allocRaw(bytes);
-    rebindOnSocket(p, bytes, socket);
+    if (p != nullptr)
+        rebindOnSocket(p, bytes, socket);
     return p;
 }
 
@@ -48,8 +75,9 @@ void *
 NumaArena::allocInterleaved(std::size_t bytes)
 {
     void *p = allocRaw(bytes);
-    _pageMap.registerRange(reinterpret_cast<uint64_t>(p), bytes,
-                           PagePolicy::Interleaved);
+    if (p != nullptr)
+        _pageMap.registerRange(reinterpret_cast<uint64_t>(p), bytes,
+                               PagePolicy::Interleaved);
     return p;
 }
 
@@ -57,7 +85,8 @@ void *
 NumaArena::allocPartitioned(std::size_t bytes, int chunks)
 {
     void *p = allocRaw(bytes);
-    rebindPartitioned(p, bytes, chunks);
+    if (p != nullptr)
+        rebindPartitioned(p, bytes, chunks);
     return p;
 }
 
@@ -89,12 +118,14 @@ void *
 NumaArena::carveSlab(std::size_t bytes)
 {
     NUMAWS_ASSERT(bytes > 0);
+    if (takeInjectedFailure())
+        return nullptr;
     const std::size_t rounded =
         (bytes + kPageBytes - 1) / kPageBytes * kPageBytes;
-    void *p = std::aligned_alloc(kPageBytes, rounded);
-    if (p == nullptr)
-        NUMAWS_FATAL("out of memory carving a %zu-byte slab", bytes);
-    return p;
+    // nullptr, not fatal: slab memory is an optimization (NUMA-homed
+    // pooling), so exhaustion degrades to the callers' plain-heap
+    // paths instead of killing a serving runtime.
+    return std::aligned_alloc(kPageBytes, rounded);
 }
 
 void

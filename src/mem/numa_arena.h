@@ -63,12 +63,21 @@ class NumaArena
      * so the memory model and affinity machinery see the homes; release
      * it with free(). */
     /// @{
-    /** Page-aligned, unregistered slab of at least @p bytes. */
+    /** Page-aligned, unregistered slab of at least @p bytes, or nullptr
+     * when the host allocation fails — callers (the frame pool, the
+     * data heap) degrade to their plain-heap fallback and count a
+     * slabFallback instead of aborting a serving runtime mid-flight. */
     static void *carveSlab(std::size_t bytes);
     /** Release a slab obtained from carveSlab (and only from it). */
     static void releaseSlab(void *ptr);
-    /** Registered variant: slab homed on @p socket in the PageMap. */
+    /** Registered variant: slab homed on @p socket in the PageMap;
+     * nullptr on failure like carveSlab. */
     void *carveSlabOnSocket(std::size_t bytes, int socket);
+    /** Test hook: make the next @p n carve attempts (static or
+     * instance, process-wide) fail as if the host heap were exhausted.
+     * Exercises the fallback chain without actually running the
+     * machine out of memory. */
+    static void failNextCarvesForTesting(int n);
     /// @}
 
     PageMap &pageMap() { return _pageMap; }

@@ -34,6 +34,13 @@ NumaHeap::allocateSlow(int cls)
     if (_bumpPtr == nullptr
         || static_cast<std::size_t>(_bumpEnd - _bumpPtr) < block) {
         void *slab = _arena->carveSlabOnSocket(kSlabBytes, _socket);
+        if (slab == nullptr) {
+            // Graceful degradation: numa::allocate treats a nullptr
+            // from the heap as "route this block elsewhere", so a
+            // failed carve widens the existing fallback path.
+            ++_slabFallbacks;
+            return nullptr;
+        }
         // First touch by the owning thread — on a real NUMA kernel this
         // homes the pages exactly where carveSlabOnSocket registered
         // them.
@@ -178,6 +185,8 @@ allocateOn(NumaArena &arena, std::size_t bytes, int socket)
         socket = sockets - 1;
     void *base =
         arena.allocOnSocket(NumaHeap::kHeaderBytes + bytes, socket);
+    if (base == nullptr)
+        return allocatePlain(bytes); // graceful carve failure
     stampHeader(static_cast<DataBlockHeader *>(base),
                 NumaHeap::kClassArena, &arena);
     return NumaHeap::payloadOf(static_cast<DataBlockHeader *>(base));
@@ -188,6 +197,8 @@ allocatePartitioned(NumaArena &arena, std::size_t bytes, int chunks)
 {
     void *base =
         arena.allocPartitioned(NumaHeap::kHeaderBytes + bytes, chunks);
+    if (base == nullptr)
+        return allocatePlain(bytes); // graceful carve failure
     stampHeader(static_cast<DataBlockHeader *>(base),
                 NumaHeap::kClassArena, &arena);
     return NumaHeap::payloadOf(static_cast<DataBlockHeader *>(base));

@@ -172,6 +172,8 @@ class NumaHeap
             ++_blocksRecycled;
         } else {
             h = allocateSlow(cls);
+            if (h == nullptr)
+                return nullptr; // carve failed; caller falls through
         }
         h->state = kBlockLive;
         ++_blocksAllocated;
@@ -236,6 +238,9 @@ class NumaHeap
     }
     uint64_t slabBytes() const { return _slabBytes; }
     uint64_t slabsCarved() const { return _slabs.size(); }
+    /** Carve attempts that failed and degraded this allocation to a
+     * plain-heap block (graceful OOM; see NumaArena::carveSlab). */
+    uint64_t slabFallbacks() const { return _slabFallbacks; }
 
     /** Blocks live right now = allocations minus frees since
      * construction or the last resetCounters() (exact when quiescent;
@@ -255,6 +260,7 @@ class NumaHeap
         _blocksAllocated = 0;
         _blocksRecycled = 0;
         _localFrees = 0;
+        _slabFallbacks = 0;
         _remoteFrees.store(0, std::memory_order_relaxed);
         // Slab gauges deliberately survive: carved memory does not
         // un-carve on a stats reset.
@@ -283,6 +289,7 @@ class NumaHeap
     uint64_t _blocksRecycled = 0;
     uint64_t _localFrees = 0;
     uint64_t _slabBytes = 0;
+    uint64_t _slabFallbacks = 0;
     /** Atomic: bumped by freeRemote callers on any thread. */
     std::atomic<uint64_t> _remoteFrees{0};
 

@@ -50,6 +50,7 @@
 #include "runtime/job_queue.h"
 #include "runtime/task.h"
 #include "runtime/task_pool.h"
+#include "sched/interference_core.h"
 #include "sched/occupancy.h"
 #include "sched/parking.h"
 #include "sched/policy.h"
@@ -58,6 +59,7 @@
 #include "support/cache_aligned.h"
 #include "support/latency_hist.h"
 #include "support/panic.h"
+#include "support/pressure.h"
 #include "support/rng.h"
 #include "support/spin_lock.h"
 #include "support/timing.h"
@@ -144,6 +146,15 @@ struct RuntimeOptions
     /** Teardown policy for jobs still queued when the Runtime is
      * destroyed (see ShutdownPolicy). */
     ShutdownPolicy shutdownPolicy = ShutdownPolicy::Drain;
+    /**
+     * Stall watchdog, milliseconds; 0 (default) disables. When set, a
+     * monitor thread checks every window that at least one task or job
+     * completed while work was active; a silent window emits a
+     * one-line-per-worker state dump (park state, running class, deque
+     * depth, socket pressure) to stderr. Diagnosis only — it never
+     * kills or unwedges anything.
+     */
+    int watchdogMs = 0;
 };
 
 /** Per-worker event counters, aggregated by Runtime::stats(). */
@@ -180,6 +191,7 @@ struct WorkerCounters
     uint64_t framesRecycled = 0; ///< pool allocations served from a free list
     uint64_t remoteFrees = 0;    ///< frames freed onto a remote-free stack
     uint64_t slabBytes = 0;      ///< pool memory carved from NumaArena
+    uint64_t slabFallbacks = 0;  ///< failed carves degraded to heap frames
     /// @}
     /** @name Data-plane counters
      * Maintained by each worker's NumaHeap (the user-data sibling of
@@ -191,6 +203,7 @@ struct WorkerCounters
     uint64_t dataBytesPooled = 0;
     uint64_t dataRemoteFrees = 0;
     uint64_t dataSlabBytes = 0;
+    uint64_t dataSlabFallbacks = 0; ///< failed carves, plain-heap blocks
     /// @}
     /** @name Parking counters
      * Unlike every other counter (written only while executing or
@@ -209,6 +222,12 @@ struct WorkerCounters
      * idleness actually handed back to the OS). Atomic on Worker for
      * the same reason as the park counters. */
     uint64_t parkedNs = 0;
+    /** Interference adaptation (ServingPolicy::interference): times
+     * this worker entered retirement (parked by the InterferenceCore
+     * verdict) and times it was reinstated. Idle-path counters like
+     * the park group: atomics on Worker, folded by stats(). */
+    uint64_t interferenceRetires = 0;
+    uint64_t interferenceReinstates = 0;
     /// @}
     /** Jobs whose root completed on this worker (serving front door). */
     uint64_t jobsCompleted = 0;
@@ -383,6 +402,7 @@ class Worker
         into.framesRecycled += _framePool.framesRecycled();
         into.remoteFrees += _framePool.remoteFrees();
         into.slabBytes += _framePool.slabBytes();
+        into.slabFallbacks += _framePool.slabFallbacks();
     }
     /** Fold the user-data heap counters into @p into (Runtime::stats). */
     void
@@ -391,6 +411,7 @@ class Worker
         into.dataBytesPooled += _dataHeap.bytesPooled();
         into.dataRemoteFrees += _dataHeap.remoteFrees();
         into.dataSlabBytes += _dataHeap.slabBytes();
+        into.dataSlabFallbacks += _dataHeap.slabFallbacks();
     }
     /** Fold the atomic park counters into @p into (Runtime::stats). */
     void
@@ -403,6 +424,10 @@ class Worker
         into.spuriousWakes +=
             _spuriousWakes.load(std::memory_order_relaxed);
         into.parkedNs += _parkedNs.load(std::memory_order_relaxed);
+        into.interferenceRetires +=
+            _interferenceRetires.load(std::memory_order_relaxed);
+        into.interferenceReinstates +=
+            _interferenceReinstates.load(std::memory_order_relaxed);
     }
     void
     resetParkCounters()
@@ -412,6 +437,8 @@ class Worker
         _parkTimeouts.store(0, std::memory_order_relaxed);
         _spuriousWakes.store(0, std::memory_order_relaxed);
         _parkedNs.store(0, std::memory_order_relaxed);
+        _interferenceRetires.store(0, std::memory_order_relaxed);
+        _interferenceReinstates.store(0, std::memory_order_relaxed);
     }
     /** Record a completed job's serving latency (Runtime::finishJob;
      * job roots always finish on a worker, so this is thread-private). */
@@ -437,6 +464,29 @@ class Worker
         for (LatencyHist &h : _jobHist)
             h = LatencyHist{};
     }
+    /** @name Liveness introspection (watchdog / tests)
+     * Racy relaxed reads by design — diagnosis, never decisions. */
+    /// @{
+    /** Monotonic count of completed task bodies and serviced parks:
+     * the watchdog's per-worker liveness signal. */
+    uint64_t
+    progressStamp() const
+    {
+        return _progressStamp.load(std::memory_order_relaxed);
+    }
+    /** Is the worker inside idleWait (or retired-parked) right now? */
+    bool
+    parkedNow() const
+    {
+        return _parkedNow.load(std::memory_order_relaxed);
+    }
+    /** Is the worker currently retired by the InterferenceCore? */
+    bool
+    retiredNow() const
+    {
+        return _retiredNow.load(std::memory_order_relaxed);
+    }
+    /// @}
     Mailbox<TaskBase> &mailbox() { return _mailbox; }
     WsDeque<TaskBase> &deque() { return _deque; }
     /** The worker's scheduling brain (decisions, RNG, tuners). */
@@ -490,6 +540,15 @@ class Worker
 
   private:
     TaskBase *acquireLocal();
+
+    /** Epoch-cadence pressure sampling on the scheduling path: close
+     * the epoch when due, publish to the PressureBoard, and (place
+     * leader only) advance the InterferenceCore hysteresis. */
+    void maybeSamplePressure();
+    /** Retired verdict observed on the idle path: park until the
+     * verdict clears or shutdown, maintaining the retire counters and
+     * (leader) the epoch ticks that drive re-expansion probing. */
+    void retirePark();
 
     /**
      * Linear-timeline time accounting: a worker's lifetime is a single
@@ -586,6 +645,31 @@ class Worker
     std::atomic<uint64_t> _spuriousWakes{0};
     /** Time actually spent parked in idleWait (elastic-pool metric). */
     std::atomic<uint64_t> _parkedNs{0};
+    /** @name Interference-adaptation state (ServingPolicy::interference)
+     * The sensor and epoch cadence are owner-only; the flags and
+     * counters are atomics because the watchdog and stats() read them
+     * from other threads (relaxed — diagnosis, not synchronization). */
+    /// @{
+    PressureSensor _pressureSensor;
+    /** Cached serving.interference == Adapt (work-first: the idle-path
+     * checks must not chase the options pointer). */
+    bool _interferenceEnabled = false;
+    int64_t _pressureEpochNs = 0;
+    /** Rank from the top of this worker's place range: 0 retires
+     * first; the place leader (largest rank, lowest id) retires last
+     * and is the one that ticks the InterferenceCore epoch. */
+    int _retireRank = 0;
+    int _placeWorkers = 1; ///< workers sharing this worker's place
+    bool _placeLeader = false;
+    std::atomic<bool> _retiredNow{false};
+    std::atomic<uint64_t> _interferenceRetires{0};
+    std::atomic<uint64_t> _interferenceReinstates{0};
+    /// @}
+    /** @name Watchdog liveness state (RuntimeOptions::watchdogMs) */
+    /// @{
+    std::atomic<bool> _parkedNow{false};
+    std::atomic<uint64_t> _progressStamp{0};
+    /// @}
     /** Per-class serving latency of jobs that completed here; folded
      * into RuntimeStats::jobLatency* by stats(). */
     LatencyHist _jobHist[kNumJobClasses];
@@ -721,6 +805,33 @@ class Runtime
     /** The overload-decision brain shared with the simulator
      * (tests/diagnostics). */
     const ShedCore &shedCore() const { return _shed; }
+    /** Per-socket co-runner pressure EWMAs, published by worker epoch
+     * samples (support/pressure.h). */
+    PressureBoard &pressureBoard() { return _pressure; }
+    const PressureBoard &pressureBoard() const { return _pressure; }
+    /** The interference-adaptation brain shared with the simulator. */
+    InterferenceCore &interferenceCore() { return _interference; }
+    const InterferenceCore &interferenceCore() const
+    {
+        return _interference;
+    }
+    /** Workers currently retired by the InterferenceCore across all
+     * sockets (gauge; 0 whenever adaptation is off or pressure calm). */
+    int
+    retiredWorkers() const
+    {
+        int n = 0;
+        for (int s = 0; s < _interference.sockets(); ++s)
+            n += _interference.retiredTarget(s);
+        return n;
+    }
+    /** Watchdog stall dumps emitted so far (tests read this instead of
+     * parsing stderr). */
+    uint64_t
+    watchdogDumps() const
+    {
+        return _watchdogDumps.load(std::memory_order_relaxed);
+    }
     /**
      * Park the calling worker (of @p socket) until work might exist,
      * for at most @p timeout_us microseconds (the caller's StealCore
@@ -766,6 +877,10 @@ class Runtime
     /** ShutdownPolicy::CancelQueued teardown sweep: drain the queue,
      * resolving every entry Cancelled and deleting its root. */
     void cancelQueuedJobs();
+    /** Watchdog monitor body (its own thread; see watchdogMs). */
+    void watchdogLoop();
+    /** One stalled-window report: a line per worker to stderr. */
+    void dumpWorkerStates();
 
     RuntimeOptions _options;
     Machine _machine;
@@ -794,6 +909,11 @@ class Runtime
     /** Admission-control / shedding decisions (sched/shed_core.h);
      * construction-initialized from _options.sched.serving. */
     ShedCore _shed;
+    /** Per-socket co-runner pressure EWMAs (support/pressure.h). */
+    PressureBoard _pressure;
+    /** Interference-adaptation decisions (sched/interference_core.h);
+     * construction-initialized like _shed. */
+    InterferenceCore _interference;
     /** Per-class job-resolution tallies; atomic because rejections
      * resolve on submitter threads and sheds on claiming workers
      * concurrently. Folded into RuntimeStats::jobOutcomes. */
@@ -813,6 +933,18 @@ class Runtime
     /** Signalled when _activeJobs drains to zero (destructor barrier). */
     std::mutex _quiesceMutex;
     std::condition_variable _quiesceCv;
+
+    /** @name Stall watchdog (RuntimeOptions::watchdogMs) */
+    /// @{
+    /** Jobs resolved (run or not) — the watchdog's job-level liveness
+     * signal, paired with the workers' progressStamp task signal. */
+    std::atomic<uint64_t> _jobsFinished{0};
+    std::atomic<uint64_t> _watchdogDumps{0};
+    std::atomic<bool> _watchdogStop{false};
+    std::mutex _watchdogMutex;
+    std::condition_variable _watchdogCv;
+    std::thread _watchdog;
+    /// @}
 };
 
 // ---------------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include "runtime/runtime.h"
 
+#include <cstdio>
+
 #include "support/panic.h"
 #include "topology/affinity.h"
 
@@ -41,7 +43,10 @@ Runtime::Runtime(RuntimeOptions options)
       _parking(options.sched.boardParking() ? _board.numSockets() : 0),
       _pageMap(std::max(1, options.numPlaces)),
       _arena(_pageMap),
-      _shed(options.sched.serving)
+      _shed(options.sched.serving),
+      _pressure(_board.numSockets(),
+                options.sched.serving.pressureEwmaShift),
+      _interference(options.sched.serving, _board.numSockets())
 {
     const int workers =
         _options.numWorkers > 0 ? _options.numWorkers : hostCpuCount();
@@ -68,6 +73,12 @@ Runtime::Runtime(RuntimeOptions options)
     // runtime constructed wins; cleared by our destructor.
     numa::setAmbient(&_arena,
                      _options.dataHeap == DataHeapPolicy::Pooled, this);
+
+    // Opt-in stall watchdog: a monitor thread that only ever reads
+    // (racily, relaxed) and writes stderr — it can never unwedge or
+    // slow the workers.
+    if (_options.watchdogMs > 0)
+        _watchdog = std::thread([this] { watchdogLoop(); });
 }
 
 Runtime::~Runtime()
@@ -88,6 +99,17 @@ Runtime::~Runtime()
     }
     _shutdown.store(true, std::memory_order_release);
     notifyWork();
+    // The watchdog can go first: the runtime is quiescent (nothing
+    // left to dump) and joining it before the workers keeps its racy
+    // reads of worker state trivially safe.
+    if (_watchdog.joinable()) {
+        {
+            std::lock_guard<std::mutex> g(_watchdogMutex);
+            _watchdogStop.store(true, std::memory_order_relaxed);
+        }
+        _watchdogCv.notify_all();
+        _watchdog.join();
+    }
     for (auto &t : _threads)
         t.join();
     // Non-worker threads must stop routing allocations through our
@@ -150,6 +172,8 @@ Runtime::resetStats()
         w->timeSplit() = TimeSplit{};
     }
     _agedClaims.store(0, std::memory_order_relaxed);
+    _pressure.reset();
+    _interference.reset();
     for (AtomicOutcomeCounts &o : _outcomes) {
         o.done.store(0, std::memory_order_relaxed);
         o.failed.store(0, std::memory_order_relaxed);
@@ -229,6 +253,12 @@ Runtime::notifyAdmission(Place place)
             _admitCursor.fetch_add(1, std::memory_order_relaxed)
             % static_cast<uint32_t>(sockets));
     }
+    // Interference steering: an admission wake aimed at a pressured
+    // socket lands on workers that are being timesliced (or retired);
+    // redirect it to the nearest calm socket. steerSocket is the
+    // identity when adaptation is off or every socket is calm, so the
+    // Off schedule is untouched.
+    socket = _interference.steerSocket(socket);
     notifyWorkOn(socket);
 }
 
@@ -374,6 +404,55 @@ Runtime::cancelQueuedJobs()
 }
 
 void
+Runtime::watchdogLoop()
+{
+    // Progress = tasks completed (per-worker stamps) + jobs resolved.
+    // A window in which the sum is unchanged while work is active means
+    // every worker is wedged, parked, or spinning on something that
+    // never completes — exactly the state worth a dump. All reads are
+    // racy and relaxed: a rare false dump costs a few stderr lines.
+    uint64_t last_progress = ~uint64_t{0};
+    std::unique_lock<std::mutex> lock(_watchdogMutex);
+    while (!_watchdogStop.load(std::memory_order_relaxed)) {
+        _watchdogCv.wait_for(
+            lock, std::chrono::milliseconds(_options.watchdogMs));
+        if (_watchdogStop.load(std::memory_order_relaxed))
+            return;
+        uint64_t progress = _jobsFinished.load(std::memory_order_relaxed);
+        for (const auto &w : _workers)
+            progress += w->progressStamp();
+        if (workActive() && progress == last_progress)
+            dumpWorkerStates();
+        last_progress = progress;
+    }
+}
+
+void
+Runtime::dumpWorkerStates()
+{
+    _watchdogDumps.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(
+        stderr,
+        "numaws watchdog: no task or job completed in %d ms "
+        "(activeJobs=%lld queued=%s)\n",
+        _options.watchdogMs,
+        static_cast<long long>(
+            _activeJobs.load(std::memory_order_relaxed)),
+        jobPending() ? "yes" : "no");
+    for (const auto &w : _workers)
+        std::fprintf(
+            stderr,
+            "numaws watchdog:   worker %2d place %d: %s%s cls=%d "
+            "deque=%zu progress=%llu pressure=%d\n",
+            w->id(), w->place(),
+            w->parkedNow() ? "parked" : "running",
+            w->retiredNow() ? "/retired" : "",
+            static_cast<int>(w->runningCls()), w->deque().size(),
+            static_cast<unsigned long long>(w->progressStamp()),
+            _pressure.pressure(w->place()));
+}
+
+void
 Runtime::resolveUnrun(JobState &state, JobOutcome outcome,
                       bool was_active)
 {
@@ -399,6 +478,7 @@ Runtime::resolveUnrun(JobState &state, JobOutcome outcome,
     }
     state.finishNs.store(nowNs(), std::memory_order_relaxed);
     state.outcome.store(outcome, std::memory_order_release);
+    _jobsFinished.fetch_add(1, std::memory_order_relaxed);
     // Same ordering contract as finishJob: retire the active slot
     // before publishing done, so a released waiter observes the
     // runtime quiescent.
@@ -451,6 +531,7 @@ Runtime::finishJob(JobState &state, JobOutcome outcome)
                      jobOutcomeName(outcome));
     }
     state.outcome.store(outcome, std::memory_order_release);
+    _jobsFinished.fetch_add(1, std::memory_order_relaxed);
     // Retire from the active count *before* publishing done: a waiter
     // released by the done flag must observe the runtime quiescent
     // (resetStats asserts !workActive() right after a run()).

@@ -35,6 +35,14 @@ TaskFramePool::allocateSlow(int cls)
     if (c.bumpPtr == nullptr
         || c.bumpPtr + frame > c.bumpEnd) {
         void *slab = NumaArena::carveSlab(kSlabBytes);
+        if (slab == nullptr) {
+            // Graceful degradation: the spawn path treats a nullptr
+            // from allocate() as "heap-allocate this frame" already
+            // (oversized frames take it every day), so a failed carve
+            // just widens that path and counts itself.
+            ++_slabFallbacks;
+            return nullptr;
+        }
         // First touch on the owning worker's thread: on a real NUMA
         // kernel this homes the slab's pages on the worker's socket
         // (the carveSlab contract; see mem/numa_arena.h).

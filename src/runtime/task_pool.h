@@ -235,6 +235,9 @@ class TaskFramePool
     }
     uint64_t slabBytes() const { return _slabBytes; }
     uint64_t slabsCarved() const { return _slabsCarved; }
+    /** Carve attempts that failed and degraded this allocation to the
+     * caller's heap fallback (graceful OOM; see carveSlab). */
+    uint64_t slabFallbacks() const { return _slabFallbacks; }
 
     /** Frames live right now = allocations minus frees since
      * construction or the last resetCounters() (exact when quiescent;
@@ -253,6 +256,7 @@ class TaskFramePool
         _framesRecycled = 0;
         _framesAllocated = 0;
         _localFrees = 0;
+        _slabFallbacks = 0;
         _remoteFrees.store(0, std::memory_order_relaxed);
         // Slab gauges deliberately survive: carved memory does not
         // un-carve on a stats reset.
@@ -280,6 +284,7 @@ class TaskFramePool
     uint64_t _localFrees = 0;
     uint64_t _slabBytes = 0;
     uint64_t _slabsCarved = 0;
+    uint64_t _slabFallbacks = 0;
     /** Remote-free stack head — the only cross-thread word; on its own
      * cache line so thieves' pushes never false-share the owner's
      * bump/free-list state. */

@@ -4,6 +4,9 @@
 #include "support/panic.h"
 #include "topology/affinity.h"
 
+#include <chrono>
+#include <thread>
+
 namespace numaws {
 
 namespace {
@@ -34,14 +37,18 @@ WorkerCounters::merge(const WorkerCounters &o)
     framesRecycled += o.framesRecycled;
     remoteFrees += o.remoteFrees;
     slabBytes += o.slabBytes;
+    slabFallbacks += o.slabFallbacks;
     dataBytesPooled += o.dataBytesPooled;
     dataRemoteFrees += o.dataRemoteFrees;
     dataSlabBytes += o.dataSlabBytes;
+    dataSlabFallbacks += o.dataSlabFallbacks;
     parks += o.parks;
     parkWakes += o.parkWakes;
     parkTimeouts += o.parkTimeouts;
     spuriousWakes += o.spuriousWakes;
     parkedNs += o.parkedNs;
+    interferenceRetires += o.interferenceRetires;
+    interferenceReinstates += o.interferenceReinstates;
     jobsCompleted += o.jobsCompleted;
     // (The live park counters are atomics on Worker; Runtime::stats()
     // folds them via foldParkCounters, so aggregates merge plainly.)
@@ -79,6 +86,18 @@ Worker::Worker(Runtime &runtime, int id, int place, uint64_t seed,
     // Cached so the spawn-boundary yield peek costs one bool when
     // preemption is off (the work-first price of the whole feature).
     _preemptEnabled = pol.serving.preempt;
+    // Interference adaptation: retire order is from the top of the
+    // place's worker range downward, so the place leader (lowest id,
+    // largest rank-from-top) retires last and keeps ticking the
+    // socket's pressure epoch for re-expansion probing.
+    _interferenceEnabled =
+        pol.serving.interference == InterferencePolicy::Adapt;
+    _pressureEpochNs =
+        static_cast<int64_t>(pol.serving.pressureEpochUs) * 1000;
+    const auto [first, last] = runtime.workersOfPlace(place);
+    _placeWorkers = last - first;
+    _retireRank = (last - 1) - id;
+    _placeLeader = id == first;
 }
 
 Worker *
@@ -323,7 +342,15 @@ Worker::placeForData(const void *data, std::size_t bytes) const
     if (last >= 0 && last < 32)
         mask |= 1u << last;
     const Place p = StealCore::placeFromAffinity(mask);
-    return isConcretePlace(p) && p < _runtime.numPlaces() ? p : kAnyPlace;
+    if (!isConcretePlace(p) || p >= _runtime.numPlaces())
+        return kAnyPlace;
+    // Placement-hint steering: while the data's home socket is under
+    // co-runner pressure, hint a calm socket instead — losing locality
+    // for the spawn beats queueing it behind a squeezed worker set.
+    // Identity when adaptation is off or the socket is calm.
+    if (_interferenceEnabled)
+        return _runtime.interferenceCore().steerSocket(p);
+    return p;
 }
 
 void
@@ -385,6 +412,9 @@ Worker::executeTask(TaskBase *task)
     // Frame release sits on both the normal and the exception path
     // above: a thrown task body still recycles its frame.
     releaseTask(task);
+    // Liveness signal for the stall watchdog: one relaxed increment per
+    // completed task body.
+    _progressStamp.fetch_add(1, std::memory_order_relaxed);
     if (sampled) {
         switchBucket(TimeSplit::Idle);
         // Work credited across this task's span (its own segment plus
@@ -519,6 +549,60 @@ Worker::helpJobUntil(const JobState &job, int64_t deadline_ns)
 }
 
 void
+Worker::maybeSamplePressure()
+{
+    // Epoch-gated: the loop-top call costs one clock read until the
+    // epoch elapses. Every worker publishes its own sample into the
+    // socket EWMA; only the place leader advances the hysteresis
+    // ladder, so the core sees exactly one verdict per socket epoch.
+    if (_pressureSensor.epochElapsedNs() < _pressureEpochNs)
+        return;
+    const int pm = _pressureSensor.sample();
+    _runtime.pressureBoard().publish(_place, pm);
+    if (_placeLeader)
+        _runtime.interferenceCore().epochTick(
+            _place, _runtime.pressureBoard().pressure(_place),
+            _placeWorkers);
+}
+
+void
+Worker::retirePark()
+{
+    // Count the retire on the not-retired -> retired edge only (the
+    // loop re-enters here every epoch while the verdict holds).
+    if (!_retiredNow.load(std::memory_order_relaxed)) {
+        _retiredNow.store(true, std::memory_order_relaxed);
+        _interferenceRetires.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Park for one pressure epoch directly on the lot with a
+    // shutdown-only predicate: Runtime::idleWait's work predicates
+    // would return immediately while jobs are pending — exactly the
+    // state a retirement is shedding — and busy-spin this thread.
+    const auto epoch = std::chrono::microseconds(
+        _runtime.options().sched.serving.pressureEpochUs);
+    const int64_t park_start = nowNs();
+    _parkedNow.store(true, std::memory_order_relaxed);
+    if (_runtime.parkingLot().enabled())
+        _runtime.parkingLot().park(_place, epoch, [this] {
+            return _runtime.shuttingDown();
+        });
+    else
+        std::this_thread::sleep_for(epoch);
+    _parkedNow.store(false, std::memory_order_relaxed);
+    const int64_t parked = nowNs() - park_start;
+    _parkedNs.fetch_add(static_cast<uint64_t>(parked),
+                        std::memory_order_relaxed);
+    _pressureSensor.notePark(parked);
+    // A fully retired socket still needs its epochs ticked or it could
+    // never re-expand: the retired leader samples from here. Parked
+    // time is excluded from the epoch's wall base, so these samples
+    // read (near) zero pressure and decay the EWMA toward the expand
+    // threshold — the expand streak becomes the probe duty cycle.
+    if (_placeLeader)
+        maybeSamplePressure();
+}
+
+void
 Worker::mainLoop()
 {
     tlsWorker = this;
@@ -531,9 +615,37 @@ Worker::mainLoop()
         pinCurrentThread(_id);
     _mark = nowNs();
     _bucket = TimeSplit::Idle;
+    if (_interferenceEnabled)
+        _pressureSensor.begin();
 
     const SchedPolicy &pol = _runtime.options().sched;
     while (!_runtime.shuttingDown()) {
+        if (_interferenceEnabled) {
+            // Retirement check sits at the loop top, before job claims
+            // and steals: a retired worker must stop contending for
+            // *new* work, but drains its own deque first so no spawned
+            // task is stranded behind the park.
+            if (_runtime.interferenceCore().workerRetired(_place,
+                                                          _retireRank)) {
+                if (TaskBase *t = acquireLocal()) {
+                    _core.noteProgress();
+                    executeTask(t);
+                    continue;
+                }
+                retirePark();
+                continue;
+            }
+            if (_retiredNow.load(std::memory_order_relaxed)) {
+                // Reinstated this iteration: restart the epoch so park
+                // time spent retired never reads as interference.
+                _retiredNow.store(false, std::memory_order_relaxed);
+                _interferenceReinstates.fetch_add(
+                    1, std::memory_order_relaxed);
+                _pressureSensor.begin();
+            } else {
+                maybeSamplePressure();
+            }
+        }
         TaskBase *t = acquireLocal();
         // Admission before stealing: a queued job is guaranteed work,
         // and the worker woken by an admission edge should claim the
@@ -553,16 +665,22 @@ Worker::mainLoop()
         if (_core.takeParkRequest()) {
             _parks.fetch_add(1, std::memory_order_relaxed);
             const int64_t park_start = nowNs();
+            _parkedNow.store(true, std::memory_order_relaxed);
             if (_runtime.idleWait(
                     _place, static_cast<int>(_core.parkTimeoutUs())))
                 _parkWakes.fetch_add(1, std::memory_order_relaxed);
             else
                 _parkTimeouts.fetch_add(1, std::memory_order_relaxed);
+            _parkedNow.store(false, std::memory_order_relaxed);
             // Parked wall time: the elastic-pool yield metric (the
             // fraction of idleness actually handed back to the OS).
-            _parkedNs.fetch_add(
-                static_cast<uint64_t>(nowNs() - park_start),
-                std::memory_order_relaxed);
+            const int64_t parked = nowNs() - park_start;
+            _parkedNs.fetch_add(static_cast<uint64_t>(parked),
+                                std::memory_order_relaxed);
+            // Voluntary sleep is not interference: exclude it from the
+            // pressure epoch's wall base.
+            if (_interferenceEnabled)
+                _pressureSensor.notePark(parked);
             // A wake that lands on a still-dry board bought nothing:
             // the wakeup-storm metric the board policy is gated on
             // (only meaningful when the board is being published). The

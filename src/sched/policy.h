@@ -156,6 +156,39 @@ shedPolicyName(ShedPolicy p)
     return "?";
 }
 
+/**
+ * Resilience against *external* interference (PR 10): co-runners the
+ * runtime does not control stealing cores or memory bandwidth. A
+ * scheduling *decision* knob — both engines must agree on when workers
+ * retire and where admissions steer — executed by the shared
+ * InterferenceCore (sched/interference_core.h).
+ */
+enum class InterferencePolicy : uint8_t
+{
+    /** No sensing, no adaptation (the PR 9 behavior): the runtime
+     * assumes it owns every core it was given. */
+    Off,
+    /** Sense per-socket pressure (involuntary context switches +
+     * wall/CPU-time skew, EWMA-smoothed) and adapt: retire surplus
+     * workers on pressured sockets via the park path, re-expand on
+     * decay, and steer admission wakes + spawn placement hints away
+     * from pressured sockets. */
+    Adapt,
+};
+
+/** Stable name for bench JSON / CLI ("off" | "adapt"). */
+inline const char *
+interferencePolicyName(InterferencePolicy p)
+{
+    switch (p) {
+      case InterferencePolicy::Off:
+        return "off";
+      case InterferencePolicy::Adapt:
+        return "adapt";
+    }
+    return "?";
+}
+
 /** Job classes the serving policy knows about; must equal the runtime's
  * kNumJobClasses (static_asserted in runtime/job.h) and the simulator's
  * lane count. Index order is priority order: 0 latency, 1 normal,
@@ -205,6 +238,34 @@ struct ServingPolicy
      * rather than after. 0 disables; 100 waits for the crossing itself.
      */
     int unparkLeadPct = 0;
+    /** Co-runner resilience (see InterferencePolicy). Off by default:
+     * the sensing epoch never ticks, no pressure is published, and the
+     * schedule is byte-identical to PR 9. */
+    InterferencePolicy interference = InterferencePolicy::Off;
+    /** Pressure-sensing epoch, microseconds: each worker samples its
+     * progress sensor once per epoch; the per-socket leader advances
+     * the InterferenceCore hysteresis on the same cadence. */
+    int pressureEpochUs = 5000;
+    /** Socket pressure (per-mille of the epoch lost to interference,
+     * EWMA-smoothed) at or above which an epoch counts as *hot*. */
+    int interferenceShrinkPermille = 250;
+    /** Pressure at or below which an epoch counts as *cool*; the band
+     * between the two thresholds holds the current worker set. */
+    int interferenceExpandPermille = 80;
+    /** Consecutive hot epochs before one more worker retires. */
+    int interferenceShrinkEpochs = 2;
+    /** Consecutive cool epochs before one retired worker returns. A
+     * retired socket can only observe its own pressure by running, so
+     * this knob is also the probe duty cycle: larger values probe less
+     * often under sustained interference. */
+    int interferenceExpandEpochs = 2;
+    /** Floor of active workers per socket under Adapt. 0 allows a fully
+     * retired socket (it re-probes via the expand hysteresis); 1 keeps
+     * a leader running so sensing continues in place. */
+    int minWorkersPerSocket = 1;
+    /** Pressure EWMA weight = 1/2^shift (2 == 1/4: a couple of epochs
+     * to converge, matched to the hysteresis epoch counts). */
+    int pressureEwmaShift = 2;
 };
 
 /**

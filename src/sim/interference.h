@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Deterministic co-runner interference model for the simulator (PR 10).
+ *
+ * An InterferenceTrace is a list of intervals during which external
+ * load squeezes one socket: `coresStolen` of the socket's cores are
+ * time-sliced against a pinned co-runner (the worker keeps only a
+ * small share of the core — kStolenShare), and every core of the
+ * socket may additionally be slowed by `slowdownPermille` (shared
+ * LLC/membw contention). The event loop charges both effects as step
+ * cost multipliers, so a trace perturbs the virtual timeline exactly
+ * the way a real co-runner perturbs wall time — and byte-
+ * deterministically per seed, which is what lets the bench gate
+ * adapt-vs-static bounds strictly.
+ *
+ * Affected cores are the socket's top-ranked ones (the *last*
+ * `coresStolen` cores of its range) — the same rank order
+ * InterferenceCore retires workers in, so an adapting run parks
+ * exactly the squeezed cores first.
+ *
+ * The trace also synthesizes the per-socket pressure signal the
+ * threaded PressureSensor measures (per-mille of an epoch lost), so
+ * the simulator drives the identical InterferenceCore hysteresis
+ * ladder: pressure = stolen share of the socket plus the slowdown
+ * share of the remaining cores.
+ *
+ * A null trace on SimConfig disables every hook; an *empty* trace
+ * (no intervals) runs the hooks with nothing to charge and must
+ * produce byte-identical results to the null case — the bench gates
+ * this invariant.
+ */
+#ifndef NUMAWS_SIM_INTERFERENCE_H
+#define NUMAWS_SIM_INTERFERENCE_H
+
+#include <algorithm>
+#include <vector>
+
+namespace numaws::sim {
+
+/** One burst of external load on one socket, in virtual cycles.
+ * Half-open: active for start <= t < end. */
+struct InterferenceInterval
+{
+    double startCycles = 0.0;
+    double endCycles = 0.0;
+    int socket = 0;
+    /** Cores of the socket time-sliced against a pinned co-runner
+     * (the top-ranked ones; each keeps kStolenShare of its cycles). */
+    int coresStolen = 0;
+    /** Extra per-step cost on every core of the socket, in per-mille
+     * (250 = every step costs 1.25x). */
+    int slowdownPermille = 0;
+};
+
+/** Seeded-schedule-friendly co-runner model (file docs). */
+struct InterferenceTrace
+{
+    /** Share of a stolen core the worker keeps: a pinned busy-loop
+     * co-runner and the worker round-robin on ~equal quanta, but the
+     * worker also eats the migration/cache-refill tax — 1/8 matches
+     * the catastrophe the threaded bench provokes. */
+    static constexpr double kStolenShare = 0.125;
+
+    std::vector<InterferenceInterval> intervals;
+
+    /** Cores of @p socket stolen at instant @p t (max over active
+     * intervals — overlapping bursts don't stack). */
+    int
+    stolenOn(int socket, double t) const
+    {
+        int stolen = 0;
+        for (const InterferenceInterval &iv : intervals) {
+            if (iv.socket == socket && iv.startCycles <= t
+                && t < iv.endCycles)
+                stolen = std::max(stolen, iv.coresStolen);
+        }
+        return stolen;
+    }
+
+    /** Slowdown on @p socket at instant @p t, per-mille (max over
+     * active intervals). */
+    int
+    slowdownOn(int socket, double t) const
+    {
+        int slow = 0;
+        for (const InterferenceInterval &iv : intervals) {
+            if (iv.socket == socket && iv.startCycles <= t
+                && t < iv.endCycles)
+                slow = std::max(slow, iv.slowdownPermille);
+        }
+        return slow;
+    }
+
+    /**
+     * Step-cost multiplier for the core holding @p rankFromTop on
+     * @p socket at instant @p t. Stolen cores (rank below the stolen
+     * count) pay 1/kStolenShare; the rest of the socket pays the
+     * slowdown factor; calm sockets pay 1.0.
+     */
+    double
+    costFactor(int socket, int rankFromTop, double t) const
+    {
+        if (rankFromTop < stolenOn(socket, t))
+            return 1.0 / kStolenShare;
+        const int slow = slowdownOn(socket, t);
+        return slow > 0 ? 1.0 + static_cast<double>(slow) / 1000.0
+                        : 1.0;
+    }
+
+    /**
+     * The pressure sample (per-mille of the epoch lost) the socket's
+     * sensor would publish at instant @p t: the stolen cores' lost
+     * share plus the remaining cores' slowdown share, averaged over
+     * the *active* workers — the same unit support/pressure.h
+     * measures. @p retiredFromTop is how many top-ranked workers the
+     * ladder has already parked: parked workers publish no samples
+     * (the threaded PressureSensor only runs on live workers), and
+     * since retirement parks the stolen cores first, the remaining
+     * workers see only the residual squeeze. This is what makes the
+     * ladder converge instead of overshooting — once the stolen cores
+     * are parked the signal drops to the slowdown share, and a mild
+     * slowdown lands in the dead band that *holds* the retirement
+     * rather than deepening it.
+     */
+    int
+    pressureAt(int socket, double t, int coresOnSocket,
+               int retiredFromTop = 0) const
+    {
+        const int active = coresOnSocket - retiredFromTop;
+        if (active <= 0)
+            return 0;
+        const int stolen =
+            std::min(stolenOn(socket, t), coresOnSocket);
+        const int stolen_active =
+            std::max(0, stolen - retiredFromTop);
+        const int slow = slowdownOn(socket, t);
+        // A stolen core loses (1 - kStolenShare); a slowed one loses
+        // slow/(1000+slow) of its wall time to the inflation.
+        const double lost_stolen =
+            static_cast<double>(stolen_active) * (1.0 - kStolenShare);
+        const double lost_slow =
+            static_cast<double>(active - stolen_active)
+            * (static_cast<double>(slow)
+               / (1000.0 + static_cast<double>(slow)));
+        const double pm = 1000.0 * (lost_stolen + lost_slow)
+                          / static_cast<double>(active);
+        return pm >= 1000.0 ? 1000 : static_cast<int>(pm);
+    }
+
+    bool empty() const { return intervals.empty(); }
+};
+
+} // namespace numaws::sim
+
+#endif // NUMAWS_SIM_INTERFERENCE_H

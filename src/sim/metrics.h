@@ -48,6 +48,16 @@ struct SimCounters
     uint64_t spuriousWakeups = 0; ///< wakeups that found a dry board
     uint64_t yields = 0;         ///< latency-class preemptions serviced
     uint64_t agedClaims = 0;     ///< job claims won via priority aging
+    /** @name Interference model (SimConfig::interference only) */
+    /// @{
+    uint64_t interferenceRetires = 0;    ///< workers shrunk away
+    uint64_t interferenceReexpands = 0;  ///< workers reinstated
+    /** Extra cycles the trace's stolen-core time-slicing inflated
+     * steps by (the co-runner's bill, summed across cores). */
+    uint64_t stolenCycles = 0;
+    /** Extra cycles the trace's socket slowdown inflated steps by. */
+    uint64_t slowedCycles = 0;
+    /// @}
 };
 
 /** Outcome of one simulated run. */

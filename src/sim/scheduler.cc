@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "deque/mailbox.h"
+#include "sched/interference_core.h"
 #include "sched/shed_core.h"
 #include "sim/serving.h"
 #include "support/panic.h"
@@ -125,8 +126,16 @@ class Simulation
           _memory(machine, dag, latency),
           _frames(dag.numFrames()),
           _cores(static_cast<std::size_t>(cores)),
-          _shed(config.sched.serving)
+          _shed(config.sched.serving),
+          _interference(config.sched.serving, machine.numSockets()),
+          _trace(config.interference)
     {
+        // Interference epochs tick on the virtual clock at the same
+        // cadence the threaded sensor samples on the wall clock. A
+        // null trace never ticks (and never charges), keeping every
+        // pre-existing configuration's event sequence byte-identical.
+        _epochCycles = _cfg.sched.serving.pressureEpochUs * _usToCycles;
+        _nextEpochAt = _epochCycles;
         NUMAWS_ASSERT(cores >= 1);
         // Clamp exactly like the threaded Mailbox does, so a cross-engine
         // run with an out-of-range capacity compares like with like.
@@ -659,6 +668,10 @@ class Simulation
             socket = static_cast<int>(_admitCursor++
                                       % static_cast<uint32_t>(sockets));
         }
+        // Steer the admission wake off a pressured socket (identity
+        // when adaptation is off or the socket is calm), mirroring
+        // Runtime::notifyAdmission.
+        socket = _interference.steerSocket(socket);
         const auto [first, last] = coresOfSocket(socket);
         for (int w = first; w < last; ++w) {
             CoreState &c = _cores[w];
@@ -714,6 +727,50 @@ class Simulation
      * Runtime drives (sched/shed_core.h); single-threaded here, so
      * its EWMAs are exact and runs stay byte-deterministic. */
     ShedCore _shed;
+    /// @}
+
+    /** @name Interference model (SimConfig::interference, PR 10) */
+    /// @{
+    /** Retirement rank, matching the threaded Worker's: 0 = the
+     * socket's last core, retired (and trace-stolen) first. */
+    int
+    rankFromTop(int core) const
+    {
+        const auto [first, last] = coresOfSocket(socketOf(core));
+        (void)first;
+        return (last - 1) - core;
+    }
+
+    /** Tick every socket's hysteresis ladder for each epoch boundary
+     * at or before @p upTo, feeding the trace's synthesized pressure
+     * — the sim's analogue of the per-socket leader's sample. */
+    void
+    tickInterferenceEpochs(double upTo)
+    {
+        while (_nextEpochAt <= upTo) {
+            if (_interference.enabled()) {
+                for (int s = 0; s < _machine.numSockets(); ++s) {
+                    const auto [first, last] = coresOfSocket(s);
+                    if (first >= last)
+                        continue;
+                    _interference.epochTick(
+                        s,
+                        _trace->pressureAt(
+                            s, _nextEpochAt, last - first,
+                            _interference.retiredTarget(s)),
+                        last - first);
+                }
+            }
+            _nextEpochAt += _epochCycles;
+        }
+    }
+
+    /** The same shared adaptation brain the threaded Runtime drives;
+     * single-ticker here, so verdicts are exact per epoch. */
+    InterferenceCore _interference;
+    const InterferenceTrace *_trace = nullptr;
+    double _epochCycles = 0.0;
+    double _nextEpochAt = 0.0;
     /// @}
 };
 
@@ -1103,6 +1160,8 @@ Simulation::run()
         }
         if (_done)
             break; // the last job resolved at an admission edge
+        if (_trace != nullptr)
+            tickInterferenceEpochs(_heap.top().time);
         const Event ev = _heap.top();
         _heap.pop();
         CoreState &c = _cores[ev.core];
@@ -1112,21 +1171,62 @@ Simulation::run()
             wakeParked(ev.core, ev.time);
             continue;
         }
+        // Adaptation verdict (the sim's Worker::retirePark): a core
+        // retired by the ladder sleeps one epoch charged idle instead
+        // of claiming or stealing — but only once its own chain and
+        // private buffers are drained, the threaded drain-first rule,
+        // *including* a pending CHECK_PARENT duty: only this core can
+        // resume the parent it just unblocked, so deferring it across
+        // the sleep would strand the suspended frame forever. Mailbox
+        // entries stay stealable by every other core.
+        if (_trace != nullptr && !c.cur.valid() && c.deq.empty()
+            && c.overflow.empty() && c.preempted.empty()
+            && c.next == NextAction::Steal
+            && _interference.workerRetired(socketOf(ev.core),
+                                           rankFromTop(ev.core))) {
+            c.clock = ev.time;
+            c.idleCycles += _epochCycles;
+            _counters.parkedCycles +=
+                static_cast<uint64_t>(_epochCycles);
+            schedule(ev.core, c.clock + _epochCycles);
+            continue;
+        }
         c.clock = ev.time;
         const auto [cost, charge] = step(ev.core);
         NUMAWS_ASSERT(cost >= 0.0);
+        double charged = cost;
+        // Charge the trace: a stolen core's step is time-sliced
+        // against its co-runner, a slowed socket's step pays the
+        // contention factor. Purely multiplicative on the step the
+        // engine already chose, so the schedule shifts only through
+        // the timeline — no extra randomness.
+        if (_trace != nullptr && cost > 0.0) {
+            const int sock = socketOf(ev.core);
+            const int rank = rankFromTop(ev.core);
+            const double f = _trace->costFactor(sock, rank, ev.time);
+            if (f > 1.0) {
+                const double extra = cost * (f - 1.0);
+                charged = cost * f;
+                if (rank < _trace->stolenOn(sock, ev.time))
+                    _counters.stolenCycles +=
+                        static_cast<uint64_t>(extra);
+                else
+                    _counters.slowedCycles +=
+                        static_cast<uint64_t>(extra);
+            }
+        }
         switch (charge) {
           case Charge::Work:
-            c.workCycles += cost;
+            c.workCycles += charged;
             break;
           case Charge::Sched:
-            c.schedCycles += cost;
+            c.schedCycles += charged;
             break;
           case Charge::Idle:
-            c.idleCycles += cost;
+            c.idleCycles += charged;
             break;
         }
-        c.clock += cost;
+        c.clock += charged;
         // Any step that worked or scheduled breaks the fruitless-probe
         // streak the parking budget counts.
         if (charge != Charge::Idle)
@@ -1176,6 +1276,8 @@ Simulation::run()
         _counters.boardDryPolls += cc.dryPolls;
         _counters.levelSkips += cc.levelSkips;
     }
+    _counters.interferenceRetires = _interference.shrinks();
+    _counters.interferenceReexpands = _interference.expands();
     r.counters = _counters;
     r.memory = _mem_counters;
     r.firstUnparkPressureCycles =

@@ -38,6 +38,7 @@
 #include "sched/policy.h"
 #include "sched/steal_core.h"
 #include "sim/dag.h"
+#include "sim/interference.h"
 #include "sim/memory.h"
 #include "sim/metrics.h"
 #include "support/rng.h"
@@ -97,6 +98,19 @@ struct SimConfig
 
     /** Zero all runtime overheads: the serial elision (TS). */
     bool serialElision = false;
+
+    /**
+     * Co-runner interference model (sim/interference.h). Null — the
+     * default — disables every hook and keeps all pre-existing
+     * configurations byte-identical. Non-null charges the trace's
+     * stolen/slowdown cost factors on every affected step and ticks
+     * the InterferenceCore epoch ladder with the trace's synthesized
+     * pressure; whether the core *adapts* (retires workers, steers
+     * admission wakes) is governed separately by
+     * sched.serving.interference, so adapt-vs-static ablations run
+     * the same trace under both knob settings. Not owned.
+     */
+    const InterferenceTrace *interference = nullptr;
 
     uint64_t seed = 0x5eed;
 
